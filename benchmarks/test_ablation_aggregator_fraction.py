@@ -1,0 +1,46 @@
+"""Ablation bench: fraction of clients acting as aggregators (`abl_aggfrac`).
+
+The paper fixes the aggregator fraction at 30 % of the clients (§VI) without a
+sensitivity analysis.  This bench sweeps the fraction at a fixed 20-client
+scale and reports, per fraction, the total simulated processing delay, the
+number of aggregators, the hierarchy depth and the peak per-device buffered
+memory.
+
+Expected shape: very small fractions behave like central aggregation (one or
+two aggregators buffer almost everything — highest peak memory); larger
+fractions spread the buffering across more devices (peak memory per device
+drops), while the total delay stays in the same ballpark — which is why the
+paper's 30 % is a reasonable middle ground.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.ablations import run_aggregator_fraction_sweep
+from repro.experiments.report import format_table
+
+
+def test_aggregator_fraction_sweep(benchmark, bench_fast):
+    fractions = (0.1, 0.3, 0.5) if bench_fast else (0.1, 0.2, 0.3, 0.4, 0.5)
+    num_clients = 12 if bench_fast else 20
+    rows = benchmark.pedantic(
+        lambda: run_aggregator_fraction_sweep(
+            fractions=fractions, num_clients=num_clients, fl_rounds=2 if bench_fast else 3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation — aggregator fraction sweep", format_table(rows, precision=2))
+
+    assert len(rows) == len(fractions)
+    # More aggregators as the fraction grows.
+    counts = [row["num_aggregators"] for row in rows]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+    # Spreading aggregation lowers the per-device buffering peak.
+    assert rows[-1]["peak_buffered_bytes"] <= rows[0]["peak_buffered_bytes"]
+    # Delays stay positive and within the same order of magnitude across the sweep.
+    delays = [row["total_delay_s"] for row in rows]
+    assert all(d > 0 for d in delays)
+    assert max(delays) / min(delays) < 3.0

@@ -1,0 +1,41 @@
+"""Ablation bench: MQTTFC payload batching + zlib compression (`abl_payload`).
+
+The paper's implementation section (§IV) adds a batching mechanism (chunked
+payloads with batch ids) and zlib compression for large payloads.  This bench
+sweeps model sizes and reports the wire size with and without compression and
+the number of MQTT chunks the batching layer produces.
+
+Expected shape: compressed payloads are never larger than raw ones (the codec
+falls back to raw when zlib does not help), chunk counts grow linearly with
+model size, and compression never increases the chunk count.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.ablations import run_payload_compression_sweep
+from repro.experiments.report import format_table
+
+
+def test_payload_compression_sweep(benchmark, bench_fast):
+    widths = (32, 128) if bench_fast else (32, 64, 128, 256)
+    rows = benchmark.pedantic(
+        lambda: run_payload_compression_sweep(hidden_widths=widths), rounds=1, iterations=1
+    )
+    emit("Ablation — payload size, batching and zlib compression", format_table(rows, precision=3))
+
+    assert len(rows) == len(widths)
+    for row in rows:
+        # Compression never inflates the payload (beyond the 1-byte flag).
+        assert row["compressed_bytes"] <= row["encoded_bytes"] + 1
+        assert row["chunks_compressed"] <= row["chunks_uncompressed"]
+        assert row["compression_ratio"] <= 1.0 + 1e-9
+    # Chunk counts grow with model size.
+    chunk_counts = [row["chunks_uncompressed"] for row in rows]
+    assert chunk_counts == sorted(chunk_counts)
+    assert chunk_counts[-1] > chunk_counts[0]
+    # Encoded size tracks the parameter count.
+    sizes = [row["encoded_bytes"] for row in rows]
+    parameters = [row["parameters"] for row in rows]
+    assert sizes == sorted(sizes) and parameters == sorted(parameters)

@@ -1,0 +1,57 @@
+"""Benchmark reproducing Fig. 7: accuracy convergence, offline vs SDFL.
+
+Paper series (read off Fig. 7, 10 rounds):
+
+* Offline training (5 % of MNIST):            81.2 → 93.0 % (plateau ≈ 93 %)
+* 2-layer hierarchical SDFL, 5 clients (1 %): 60.0 → 89.6 % (plateau ≈ 89.6 %)
+
+Expected reproduced shape (synthetic digits stand-in): both curves rise
+steeply in the first rounds and plateau; the offline curve stays at or above
+the federated curve; the federated curve ends within a few accuracy points of
+the offline one (the paper's "on par with what a local training pipeline can"
+claim).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.fig7_accuracy import Fig7Config, run_fig7
+from repro.experiments.report import format_series, format_table
+
+
+def test_fig7_accuracy_convergence(benchmark, bench_fast):
+    result = benchmark.pedantic(
+        lambda: run_fig7(Fig7Config(fast=bench_fast)), rounds=1, iterations=1
+    )
+
+    emit(
+        "Fig. 7 — MLP accuracy convergence: offline training vs SDFLMQ (5 clients)",
+        format_table(result.as_rows(), precision=2)
+        + "\n\n"
+        + format_series("offline_accuracy", result.offline_accuracy)
+        + "\n"
+        + format_series("sdfl_accuracy   ", result.sdfl_accuracy),
+    )
+
+    offline, sdfl = result.offline_accuracy, result.sdfl_accuracy
+
+    # Shape 1: both curves improve substantially from round 1 to the end.
+    assert sdfl[-1] > sdfl[0]
+    assert offline[-1] >= offline[0]
+
+    # Shape 2: both plateau at a high accuracy (paper: ~90 %).
+    assert sdfl[-1] > 0.80
+    assert offline[-1] > 0.85
+
+    # Shape 3: offline training stays at or above the federated curve at the
+    # end, but the federated run lands within 10 accuracy points of it.
+    assert offline[-1] >= sdfl[-1] - 0.02
+    assert result.final_gap < 0.10
+
+    # Shape 4: most of the federated improvement happens in the first half of
+    # the rounds (steep rise then plateau, as in the paper's figure).
+    halfway = len(sdfl) // 2
+    early_gain = sdfl[halfway - 1] - sdfl[0]
+    late_gain = sdfl[-1] - sdfl[halfway - 1]
+    assert early_gain >= late_gain

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Client churn: devices joining a session and dying mid-round.
+
+Constrained IoT fleets churn — devices lose power, move out of range, or get
+claimed by other workloads.  SDFLMQ learns about departures straight from the
+broker: every client publishes a retained ``online`` marker on its presence
+topic and registers an ``offline`` last-will, so when a device disappears
+without saying goodbye the broker fires the will and the coordinator
+immediately re-plans the aggregation topology for the survivors.  A client
+whose aggregator vanished forwards its buffered contributions to the new one,
+so the round still completes.
+
+This example runs 4 FL rounds with 8 clients and kills one client per round
+(including, in round 2, the root aggregator itself), printing the surviving
+topology and the global model accuracy after every round.
+
+Run with::
+
+    python examples/client_churn.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Coordinator, CoordinatorConfig, ParameterServer, SDFLMQClient
+from repro.core.clustering import ClusteringConfig
+from repro.ml import (
+    ClassifierModel,
+    DataLoader,
+    iid_partition,
+    make_paper_mlp,
+    synthetic_digits,
+    SyntheticDigitsConfig,
+    train_test_split,
+)
+from repro.ml.optim import Adam
+from repro.mqtt import MQTTBroker
+from repro.runtime import MessagePump
+
+NUM_CLIENTS = 8
+FL_ROUNDS = 4
+SESSION = "churny_session"
+
+
+def main() -> None:
+    dataset = synthetic_digits(SyntheticDigitsConfig(num_samples=4000, seed=21))
+    train_set, test_set = train_test_split(dataset, test_fraction=0.2, rng=np.random.default_rng(0))
+    shards = [train_set.subset(p) for p in iid_partition(train_set, NUM_CLIENTS, rng=np.random.default_rng(1))]
+
+    broker = MQTTBroker("edge-broker")
+    pump = MessagePump()
+    coordinator = Coordinator(
+        broker,
+        config=CoordinatorConfig(
+            clustering=ClusteringConfig(policy="hierarchical", aggregator_fraction=0.3)
+        ),
+    )
+    server = ParameterServer(broker)
+    pump.register(coordinator.mqtt)
+    pump.register(server.mqtt)
+
+    clients, models, optimizers = [], {}, {}
+    for index in range(NUM_CLIENTS):
+        client = SDFLMQClient(f"client_{index:03d}", broker=broker,
+                              preferred_role="trainer_aggregator", pump=pump.run_until_idle)
+        pump.register(client.mqtt)
+        clients.append(client)
+        network = make_paper_mlp(input_dim=train_set.num_features, num_classes=10, seed=42)
+        models[client.client_id] = ClassifierModel(network, name="mlp")
+        optimizers[client.client_id] = Adam(network, lr=1e-3)
+
+    clients[0].create_fl_session(session_id=SESSION, fl_rounds=FL_ROUNDS, model_name="mlp",
+                                 session_capacity_min=NUM_CLIENTS, session_capacity_max=NUM_CLIENTS)
+    for client, shard in zip(clients[1:], shards[1:]):
+        client.join_fl_session(session_id=SESSION, fl_rounds=FL_ROUNDS, model_name="mlp",
+                               num_samples=len(shard))
+    pump.run_until_idle()
+    for client, shard in zip(clients, shards):
+        client.set_model(SESSION, models[client.client_id], num_samples=len(shard))
+
+    alive = list(clients)
+    for round_index in range(FL_ROUNDS):
+        topology = coordinator.session(SESSION).topology
+        print(f"\nround {round_index + 1}: {len(alive)} clients alive, "
+              f"aggregators = {topology.aggregator_ids}")
+
+        # Local training + upload for everyone currently alive.
+        for client in alive:
+            shard = shards[clients.index(client)]
+            loader = DataLoader(shard, batch_size=32, shuffle=True,
+                                rng=np.random.default_rng(100 * round_index + clients.index(client)))
+            for _ in range(3):
+                models[client.client_id].train_epoch(loader, optimizers[client.client_id])
+            client.send_local(SESSION)
+
+        # One device dies ungracefully before the round finishes.  In round 2
+        # it is the root aggregator itself.
+        if len(alive) > 2:
+            victim = (
+                next(c for c in alive if c.client_id == topology.root_id)
+                if round_index == 1
+                else alive[-1]
+            )
+            print(f"  !! {victim.client_id} (role: {victim.role(SESSION).value}) drops out ungracefully")
+            victim.disconnect(unexpected=True)
+            alive.remove(victim)
+
+        pump.run_until_idle()
+        for client in alive:
+            client.wait_global_update(SESSION)
+            client.report_stats(SESSION)
+        pump.run_until_idle()
+
+        reference = models[alive[0].client_id]
+        print(f"  global accuracy after round {round_index + 1}: {reference.accuracy(test_set):.4f}")
+        print(f"  contributors remaining in session: "
+              f"{len(coordinator.session(SESSION).contributors)}")
+
+    print(f"\nglobal model versions stored: {server.record(SESSION).version}")
+    print(f"clients dropped during the session: {coordinator.clients_dropped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Heterogeneous IoT fleet with non-IID data and per-round role rearrangement.
+
+This is the scenario the paper's motivation section describes: an enclosed,
+interconnected IoT environment where *no* device is a powerful server, device
+memory fluctuates as co-located workloads come and go, and the coordinator
+therefore has to move the aggregation role around from round to round
+(memory-aware load balancing) instead of pinning it to a fixed machine.
+
+The example uses the high-level :class:`repro.runtime.FLExperiment` harness
+and prints, per round, which devices acted as aggregators, how many clients
+had to be informed of a role change, the simulated round delay and the global
+model accuracy under a Dirichlet non-IID data split.
+
+Run with::
+
+    python examples/heterogeneous_iot_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.runtime import ExperimentConfig, FLExperiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        name="heterogeneous-iot",
+        num_clients=10,
+        fl_rounds=5,
+        local_epochs=3,
+        dataset_samples=5000,
+        client_data_fraction=0.02,
+        partition="dirichlet",
+        dirichlet_alpha=0.5,
+        clustering_policy="hierarchical",
+        aggregator_fraction=0.3,
+        role_policy="memory_aware",
+        rebalance_every_round=True,
+        heterogeneous_devices=True,
+        memory_pressure=0.6,
+        seed=13,
+    )
+    experiment = FLExperiment(config)
+    experiment.setup()
+
+    print("device fleet:")
+    for device_id in experiment.fleet.device_ids:
+        profile = experiment.fleet.profile(device_id)
+        print(
+            f"  {device_id}: tier={profile.tier:7s} speed={profile.compute_speed:4.2f} "
+            f"memory={profile.memory_bytes / 1024 ** 2:7.1f} MiB "
+            f"bandwidth={profile.bandwidth_bps / 1e6:6.2f} MB/s"
+        )
+    print()
+
+    rows = []
+    for round_index in range(config.fl_rounds):
+        result = experiment.run_round(round_index)
+        rows.append(
+            {
+                "round": round_index + 1,
+                "accuracy": result.test_accuracy,
+                "round_delay_s": result.delay.total_s,
+                "aggregators": ",".join(a.split("_")[-1] for a in result.aggregator_ids),
+                "roles_changed": result.roles_changed,
+                "overflow_events": result.overflow_events,
+            }
+        )
+    print(format_table(rows, precision=3))
+
+    print("\nper-device peak buffered model memory (bytes):")
+    for device_id, peak in sorted(experiment.resources.high_water_by_device().items()):
+        if peak:
+            print(f"  {device_id}: {peak}")
+
+
+if __name__ == "__main__":
+    main()

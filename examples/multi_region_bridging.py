@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Multi-region deployment with broker bridging (paper §III.F, Fig. 2).
+
+Twelve clients are spread over three regions, each region served by its own
+MQTT broker; the brokers are connected by bridges so that cluster-head and
+coordinator traffic flows between regions while each client only ever talks
+to its local broker.  The coordinator and the parameter server live in region
+A ("the cloud side" of the paper's Fig. 2).
+
+The example runs a short FL session across the bridged brokers and then prints
+the per-broker routing load, showing how bridging spreads broker work across
+the regions compared to the single-broker deployment.
+
+Run with::
+
+    python examples/multi_region_bridging.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.runtime import ExperimentConfig, FLExperiment
+
+
+def run(num_regions: int) -> dict:
+    config = ExperimentConfig(
+        name=f"bridging-{num_regions}-regions",
+        num_clients=12,
+        fl_rounds=3,
+        local_epochs=2,
+        dataset_samples=3000,
+        client_data_fraction=0.02,
+        clustering_policy="hierarchical",
+        num_regions=num_regions,
+        seed=5,
+    )
+    experiment = FLExperiment(config)
+    result = experiment.run()
+
+    per_broker = {
+        broker.name: {
+            "local_clients": len(broker.connected_clients),
+            "messages_delivered": broker.stats.messages_delivered,
+            "kib_delivered": broker.stats.bytes_delivered / 1024,
+        }
+        for broker in experiment.brokers
+    }
+    bridged = sum(
+        bridge.forwarded_local_to_remote + bridge.forwarded_remote_to_local
+        for bridge in experiment.bridges
+    )
+    return {
+        "regions": num_regions,
+        "final_accuracy": result.final_accuracy,
+        "total_messages": result.total_messages,
+        "bridged_messages": bridged,
+        "per_broker": per_broker,
+    }
+
+
+def main() -> None:
+    single = run(num_regions=1)
+    bridged = run(num_regions=3)
+
+    print("single-broker deployment:")
+    print(format_table([{"broker": name, **stats} for name, stats in single["per_broker"].items()], precision=1))
+    print(f"  final accuracy: {single['final_accuracy']:.4f}\n")
+
+    print("three bridged regional brokers:")
+    print(format_table([{"broker": name, **stats} for name, stats in bridged["per_broker"].items()], precision=1))
+    print(f"  messages forwarded across bridges: {bridged['bridged_messages']}")
+    print(f"  final accuracy: {bridged['final_accuracy']:.4f}")
+    print(
+        "\nThe FL outcome is identical.  With bridging every client talks only to "
+        "its regional broker, so the delivery fan-out (the per-client downlink "
+        "work) is spread across the three brokers instead of all landing on one."
+    )
+
+
+if __name__ == "__main__":
+    main()

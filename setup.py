@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``python setup.py develop`` / legacy editable installs work in offline
+environments where PEP 660 editable wheels cannot be built.
+"""
+from setuptools import setup
+
+setup()

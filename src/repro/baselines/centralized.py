@@ -1,0 +1,130 @@
+"""Classic centralized FedAvg baseline (no MQTT, no hierarchy).
+
+This is the reference implementation of "centralized FL" from the paper's
+Fig. 1: a logical server holds the global model, every client trains locally
+on its own shard and returns its weights, and the server averages them.  It is
+used (a) by the topology ablation bench, and (b) by tests as ground truth that
+SDFLMQ's hierarchical FedAvg produces the same global model a flat FedAvg
+would (weighted means compose exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import FedAvg, ModelContribution
+from repro.ml.data import ArrayDataset, DataLoader
+from repro.ml.models import ClassifierModel, make_paper_mlp
+from repro.ml.optim import Adam
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require_positive
+
+__all__ = ["CentralizedFedAvgBaseline", "CentralizedResult"]
+
+
+@dataclass
+class CentralizedResult:
+    """Round-wise metrics of the centralized FedAvg baseline."""
+
+    accuracies: List[float] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+    client_samples: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy after the last round (0.0 if no rounds ran)."""
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+class CentralizedFedAvgBaseline:
+    """Plain FedAvg with a single logical server.
+
+    Parameters
+    ----------
+    client_datasets:
+        Per-client training shards (keyed by client id).
+    test_set:
+        Held-out evaluation set.
+    rounds, local_epochs, batch_size, learning_rate, seed:
+        Same hyper-parameters as the SDFLMQ experiments.
+    """
+
+    def __init__(
+        self,
+        client_datasets: Dict[str, ArrayDataset],
+        test_set: ArrayDataset,
+        rounds: int = 10,
+        local_epochs: int = 5,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: int = 42,
+    ) -> None:
+        if not client_datasets:
+            raise ValueError("centralized FedAvg needs at least one client dataset")
+        require_positive(rounds, "rounds")
+        require_positive(local_epochs, "local_epochs")
+        self.client_datasets = dict(client_datasets)
+        self.test_set = test_set
+        self.rounds = int(rounds)
+        self.local_epochs = int(local_epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.seeds = SeedSequenceFactory(seed)
+
+        input_dim = test_set.num_features
+        num_classes = test_set.num_classes
+        self.global_model = ClassifierModel(
+            make_paper_mlp(input_dim=input_dim, num_classes=num_classes, seed=seed), name="global"
+        )
+        self.client_models: Dict[str, ClassifierModel] = {}
+        self.client_optimizers: Dict[str, Adam] = {}
+        for client_id in sorted(self.client_datasets):
+            network = make_paper_mlp(input_dim=input_dim, num_classes=num_classes, seed=seed)
+            model = ClassifierModel(network, name=client_id)
+            self.client_models[client_id] = model
+            self.client_optimizers[client_id] = Adam(network, lr=self.learning_rate)
+        self.aggregator = FedAvg()
+
+    def run_round(self, round_index: int) -> float:
+        """Run one FedAvg round; returns the mean client training loss."""
+        contributions: List[ModelContribution] = []
+        losses: List[float] = []
+        global_state = self.global_model.state_dict()
+        for client_id in sorted(self.client_datasets):
+            model = self.client_models[client_id]
+            model.load_state_dict(global_state)
+            loader = DataLoader(
+                self.client_datasets[client_id],
+                batch_size=self.batch_size,
+                shuffle=True,
+                rng=self.seeds.generator("loader", client_id, round_index),
+            )
+            optimizer = self.client_optimizers[client_id]
+            epoch_losses = [model.train_epoch(loader, optimizer) for _ in range(self.local_epochs)]
+            losses.append(float(np.mean(epoch_losses)))
+            contributions.append(
+                ModelContribution(
+                    state=model.state_dict(),
+                    weight=float(len(self.client_datasets[client_id])),
+                    sender_id=client_id,
+                    round_index=round_index,
+                )
+            )
+        aggregated = self.aggregator.aggregate(contributions)
+        self.global_model.load_state_dict(aggregated)
+        return float(np.mean(losses))
+
+    def run(self) -> CentralizedResult:
+        """Run all rounds; returns the accuracy/loss trajectory."""
+        result = CentralizedResult(
+            client_samples={cid: len(ds) for cid, ds in self.client_datasets.items()}
+        )
+        for round_index in range(self.rounds):
+            mean_loss = self.run_round(round_index)
+            evaluation = self.global_model.evaluate(self.test_set)
+            result.accuracies.append(float(evaluation["accuracy"]))
+            result.losses.append(mean_loss)
+        return result

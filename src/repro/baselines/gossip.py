@@ -1,0 +1,171 @@
+"""Fully decentralized (gossip) federated learning baseline.
+
+The third topology in the paper's Fig. 1: no coordinator and no aggregation
+hierarchy — peers exchange models directly and average with their neighbours.
+The paper argues this avoids any single point of memory/bandwidth overload
+"but that could come at a cost of extra time for training/aggregation due to
+the sequential communication"; the delay estimate here models exactly that
+sequential peer-to-peer exchange so the topology ablation can compare all
+three arrangements on both accuracy and delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.aggregation import UniformAverage, ModelContribution
+from repro.ml.data import ArrayDataset, DataLoader
+from repro.ml.models import ClassifierModel, make_paper_mlp
+from repro.ml.optim import Adam
+from repro.ml.state import state_dict_nbytes
+from repro.sim.costs import CostModel
+from repro.sim.device import DeviceFleet
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require_positive
+
+__all__ = ["GossipFLBaseline", "GossipResult"]
+
+
+@dataclass
+class GossipResult:
+    """Round-wise metrics of the gossip FL baseline."""
+
+    accuracies: List[float] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+    round_delays_s: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Mean final accuracy across peers (they may not have identical models)."""
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+    @property
+    def total_delay_s(self) -> float:
+        """Total simulated processing delay over all rounds."""
+        return float(sum(self.round_delays_s))
+
+
+class GossipFLBaseline:
+    """Ring-neighbourhood gossip averaging.
+
+    Each round every peer trains locally, then averages its parameters with
+    its ``neighbours`` nearest peers on a ring (a standard gossip topology).
+    Because exchanges are peer-to-peer and sequential per device, the round
+    delay is ``train + neighbours · (serialize + transfer + average)`` for the
+    slowest device — there is no aggregation parallelism to exploit.
+    """
+
+    def __init__(
+        self,
+        client_datasets: Dict[str, ArrayDataset],
+        test_set: ArrayDataset,
+        rounds: int = 10,
+        local_epochs: int = 5,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        neighbours: int = 2,
+        seed: int = 42,
+        fleet: Optional[DeviceFleet] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if not client_datasets:
+            raise ValueError("gossip FL needs at least one client dataset")
+        require_positive(rounds, "rounds")
+        require_positive(neighbours, "neighbours")
+        self.client_ids = sorted(client_datasets)
+        if neighbours >= len(self.client_ids):
+            neighbours = max(1, len(self.client_ids) - 1)
+        self.client_datasets = dict(client_datasets)
+        self.test_set = test_set
+        self.rounds = int(rounds)
+        self.local_epochs = int(local_epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.neighbours = int(neighbours)
+        self.seeds = SeedSequenceFactory(seed)
+        self.fleet = fleet or DeviceFleet.homogeneous(len(self.client_ids), prefix="peer", seed=seed)
+        self.cost = cost_model or CostModel()
+
+        input_dim = test_set.num_features
+        num_classes = test_set.num_classes
+        self.models: Dict[str, ClassifierModel] = {}
+        self.optimizers: Dict[str, Adam] = {}
+        for client_id in self.client_ids:
+            network = make_paper_mlp(input_dim=input_dim, num_classes=num_classes, seed=seed)
+            self.models[client_id] = ClassifierModel(network, name=client_id)
+            self.optimizers[client_id] = Adam(network, lr=self.learning_rate)
+        self.averager = UniformAverage()
+
+    def _neighbours_of(self, index: int) -> List[str]:
+        n = len(self.client_ids)
+        out = []
+        for offset in range(1, self.neighbours + 1):
+            out.append(self.client_ids[(index + offset) % n])
+        return out
+
+    def run_round(self, round_index: int) -> Dict[str, float]:
+        """One gossip round: local training then neighbour averaging.
+
+        Returns a dict with the mean training loss and the simulated delay.
+        """
+        losses = []
+        for client_id in self.client_ids:
+            model = self.models[client_id]
+            loader = DataLoader(
+                self.client_datasets[client_id],
+                batch_size=self.batch_size,
+                shuffle=True,
+                rng=self.seeds.generator("loader", client_id, round_index),
+            )
+            optimizer = self.optimizers[client_id]
+            epoch_losses = [model.train_epoch(loader, optimizer) for _ in range(self.local_epochs)]
+            losses.append(float(np.mean(epoch_losses)))
+
+        # Snapshot all post-training states, then average each peer with its
+        # ring neighbours (synchronous gossip step).
+        snapshots = {cid: self.models[cid].state_dict() for cid in self.client_ids}
+        for index, client_id in enumerate(self.client_ids):
+            contributions = [
+                ModelContribution(state=snapshots[client_id], sender_id=client_id, round_index=round_index)
+            ]
+            for neighbour in self._neighbours_of(index):
+                contributions.append(
+                    ModelContribution(state=snapshots[neighbour], sender_id=neighbour, round_index=round_index)
+                )
+            self.models[client_id].load_state_dict(self.averager.aggregate(contributions))
+
+        # Delay: sequential peer-to-peer exchanges, bounded by the slowest peer.
+        num_params = self.models[self.client_ids[0]].num_parameters
+        payload = state_dict_nbytes(snapshots[self.client_ids[0]], "float32")
+        per_client_delay = []
+        fleet_ids = self.fleet.device_ids
+        for index, client_id in enumerate(self.client_ids):
+            device = self.fleet.profile(fleet_ids[index % len(fleet_ids)])
+            train = self.cost.training_time(
+                device, len(self.client_datasets[client_id]), self.local_epochs, num_params
+            )
+            exchange = 0.0
+            for _ in range(self.neighbours):
+                link = device.link_profile()
+                exchange += (
+                    self.cost.serialization_time(device, payload)
+                    + 2 * link.transfer_time(payload)  # request/response with the peer
+                    + self.cost.aggregation_time(device, 2, num_params, payload)
+                )
+            per_client_delay.append(train + exchange)
+        delay = float(max(per_client_delay))
+        return {"loss": float(np.mean(losses)), "delay_s": delay}
+
+    def run(self) -> GossipResult:
+        """Run all rounds; accuracy is the mean test accuracy across peers."""
+        result = GossipResult()
+        for round_index in range(self.rounds):
+            round_metrics = self.run_round(round_index)
+            accuracies = [self.models[cid].accuracy(self.test_set) for cid in self.client_ids]
+            result.accuracies.append(float(np.mean(accuracies)))
+            result.losses.append(round_metrics["loss"])
+            result.round_delays_s.append(round_metrics["delay_s"])
+        return result

@@ -1,0 +1,165 @@
+"""Command-line interface for the SDFLMQ reproduction.
+
+Exposes the experiment harness without writing any Python::
+
+    python -m repro fig7                         # reproduce Fig. 7 (accuracy convergence)
+    python -m repro fig8                         # reproduce Fig. 8 (processing delay sweep)
+    python -m repro ablation aggregator-fraction # run one of the ablation studies
+    python -m repro run --clients 8 --rounds 3 --policy central
+    python -m repro list                         # list available ablations
+
+All commands print the same plain-text tables the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import ablations
+from repro.experiments.fig7_accuracy import Fig7Config, run_fig7
+from repro.experiments.fig8_delay import Fig8Config, run_fig8
+from repro.experiments.report import format_series, format_table
+from repro.runtime.experiment import ExperimentConfig, FLExperiment
+
+__all__ = ["main", "build_parser", "ABLATIONS"]
+
+#: name → zero/low-argument callable returning table rows.
+ABLATIONS: Dict[str, Callable[..., List[dict]]] = {
+    "aggregator-fraction": ablations.run_aggregator_fraction_sweep,
+    "payload-compression": ablations.run_payload_compression_sweep,
+    "role-rearrangement": ablations.run_role_rearrangement,
+    "broker-bridging": ablations.run_broker_bridging,
+    "topologies": ablations.run_topology_comparison,
+    "aggregation-strategies": ablations.run_aggregation_strategies,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and --help generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'SDFLMQ: A Semi-Decentralized Federated "
+        "Learning Framework over MQTT' (IPDPSW/PAISE 2025).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig7 = sub.add_parser("fig7", help="accuracy convergence: offline vs SDFL (paper Fig. 7)")
+    fig7.add_argument("--fast", action="store_true", help="shrunk configuration (seconds instead of minutes)")
+    fig7.add_argument("--seed", type=int, default=42)
+
+    fig8 = sub.add_parser("fig8", help="total processing delay vs client count (paper Fig. 8)")
+    fig8.add_argument("--fast", action="store_true", help="only the first two client counts, 3 rounds")
+    fig8.add_argument("--seed", type=int, default=7)
+
+    ablation = sub.add_parser("ablation", help="run one ablation study")
+    ablation.add_argument("name", choices=sorted(ABLATIONS), help="which ablation to run")
+
+    sub.add_parser("list", help="list available ablations")
+
+    run = sub.add_parser("run", help="run a custom SDFLMQ experiment")
+    run.add_argument("--clients", type=int, default=5)
+    run.add_argument("--rounds", type=int, default=3)
+    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument("--policy", choices=["hierarchical", "central"], default="hierarchical")
+    run.add_argument("--aggregator-fraction", type=float, default=0.30)
+    run.add_argument("--aggregation", default="fedavg")
+    run.add_argument("--role-policy", default="static")
+    run.add_argument("--partition", choices=["iid", "dirichlet", "shard"], default="iid")
+    run.add_argument("--dirichlet-alpha", type=float, default=0.5)
+    run.add_argument("--dataset-samples", type=int, default=4000)
+    run.add_argument("--client-fraction", type=float, default=0.02)
+    run.add_argument("--regions", type=int, default=1)
+    run.add_argument("--device-tier", default="laptop")
+    run.add_argument("--heterogeneous", action="store_true")
+    run.add_argument("--no-train", action="store_true", help="skip real training (delay-only runs)")
+    run.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    result = run_fig7(Fig7Config(fast=args.fast, seed=args.seed))
+    print("Fig. 7 — accuracy convergence (offline vs SDFLMQ, 5 clients)\n")
+    print(format_table(result.as_rows(), precision=2))
+    print()
+    print(format_series("offline_accuracy", result.offline_accuracy))
+    print(format_series("sdfl_accuracy", result.sdfl_accuracy))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    result = run_fig8(Fig8Config(fast=args.fast, seed=args.seed))
+    print("Fig. 8 — total processing delay of 10 FL rounds vs number of clients\n")
+    print(format_table(result.as_rows(), precision=1))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    rows = ABLATIONS[args.name]()
+    print(f"Ablation: {args.name}\n")
+    printable = [
+        {k: v for k, v in row.items() if not isinstance(v, dict)} for row in rows
+    ]
+    print(format_table(printable, precision=3))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Available ablations:")
+    for name in sorted(ABLATIONS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        name="cli-run",
+        num_clients=args.clients,
+        fl_rounds=args.rounds,
+        local_epochs=args.epochs,
+        dataset_samples=args.dataset_samples,
+        client_data_fraction=args.client_fraction,
+        partition=args.partition,
+        dirichlet_alpha=args.dirichlet_alpha,
+        clustering_policy=args.policy,
+        aggregator_fraction=args.aggregator_fraction,
+        aggregation=args.aggregation,
+        role_policy=args.role_policy,
+        num_regions=args.regions,
+        device_tier=args.device_tier,
+        heterogeneous_devices=args.heterogeneous,
+        train_for_real=not args.no_train,
+        seed=args.seed,
+    )
+    result = FLExperiment(config).run()
+    print(f"SDFLMQ experiment: {args.clients} clients, {args.rounds} rounds, "
+          f"{args.policy} clustering, {args.aggregation} aggregation\n")
+    print(format_table(result.as_rows(), precision=4))
+    print()
+    print(f"final accuracy      : {result.final_accuracy:.4f}")
+    print(f"total delay (sim)   : {result.total_delay_s:.2f} s")
+    print(f"total traffic       : {result.total_traffic_bytes / 1024:.1f} KiB")
+    print(f"messages routed     : {result.total_messages}")
+    print(f"role changes        : {result.role_changes_total}")
+    return 0
+
+
+_COMMANDS = {
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "ablation": _cmd_ablation,
+    "list": _cmd_list,
+    "run": _cmd_run,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""SDFLMQ core: the paper's primary contribution.
+
+The core package contains the three runtime components (client, coordinator,
+parameter server), the coordination machinery they share (sessions, roles,
+clustering, load balancing, aggregation strategies) and the topic scheme that
+binds everything to MQTT.
+"""
+
+from repro.core.aggregation import (
+    AggregationStrategy,
+    FedAvg,
+    UniformAverage,
+    CoordinateMedian,
+    TrimmedMean,
+    FedAvgMomentum,
+    ModelContribution,
+    get_aggregator,
+    available_aggregators,
+)
+from repro.core.client import SDFLMQClient, SessionParticipation
+from repro.core.clustering import ClusteringConfig, ClusteringEngine, ClusterNode, ClusterTopology
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.errors import (
+    SDFLMQError,
+    SessionError,
+    SessionFullError,
+    SessionNotFoundError,
+    DuplicateSessionError,
+    RoleError,
+    AggregationError,
+    ModelNotRegisteredError,
+)
+from repro.core.load_balancer import LoadBalancer, RebalanceResult
+from repro.core.messages import (
+    SessionRequest,
+    SessionAck,
+    JoinRequest,
+    JoinAck,
+    RoleAssignment,
+    ClientStatsReport,
+    GlobalModelNotice,
+)
+from repro.core.model_controller import ModelController, ModelRecord
+from repro.core.parameter_server import ParameterServer, GlobalModelRecord
+from repro.core.role_arbiter import RoleArbiter, RoleState, TopicChange
+from repro.core.role_optimizers import (
+    RoleOptimizationPolicy,
+    StaticPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    MemoryAwarePolicy,
+    CompositeScorePolicy,
+    GeneticPolicy,
+    get_policy,
+    available_policies,
+)
+from repro.core.roles import Role
+from repro.core.session import FLSession, SessionState
+from repro.core import topics
+
+__all__ = [
+    "AggregationStrategy",
+    "FedAvg",
+    "UniformAverage",
+    "CoordinateMedian",
+    "TrimmedMean",
+    "FedAvgMomentum",
+    "ModelContribution",
+    "get_aggregator",
+    "available_aggregators",
+    "SDFLMQClient",
+    "SessionParticipation",
+    "ClusteringConfig",
+    "ClusteringEngine",
+    "ClusterNode",
+    "ClusterTopology",
+    "Coordinator",
+    "CoordinatorConfig",
+    "SDFLMQError",
+    "SessionError",
+    "SessionFullError",
+    "SessionNotFoundError",
+    "DuplicateSessionError",
+    "RoleError",
+    "AggregationError",
+    "ModelNotRegisteredError",
+    "LoadBalancer",
+    "RebalanceResult",
+    "SessionRequest",
+    "SessionAck",
+    "JoinRequest",
+    "JoinAck",
+    "RoleAssignment",
+    "ClientStatsReport",
+    "GlobalModelNotice",
+    "ModelController",
+    "ModelRecord",
+    "ParameterServer",
+    "GlobalModelRecord",
+    "RoleArbiter",
+    "RoleState",
+    "TopicChange",
+    "RoleOptimizationPolicy",
+    "StaticPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "MemoryAwarePolicy",
+    "CompositeScorePolicy",
+    "GeneticPolicy",
+    "get_policy",
+    "available_policies",
+    "Role",
+    "FLSession",
+    "SessionState",
+    "topics",
+]

@@ -1,0 +1,426 @@
+"""The clustering engine: building (hierarchical) aggregation topologies.
+
+Given the set of contributing clients, the coordinator's clustering engine
+(paper §III.D–E) selects aggregators, groups the remaining trainers into
+clusters headed by those aggregators, and — for hierarchical policies — stacks
+additional aggregation levels until a single root aggregator remains.  The
+resulting :class:`ClusterTopology` is what role arrangement turns into
+``set_role`` messages and what the delay model walks to compute the critical
+path of a round.
+
+Two policies cover the paper's evaluation:
+
+* ``"central"`` — one cluster, one aggregator (the "SDFL with central
+  aggregation" curve in Fig. 8);
+* ``"hierarchical"`` — a 2-layer aggregation tree where roughly
+  ``aggregator_fraction`` of the clients act as aggregators (30 % in the
+  paper), one of which is promoted to root.
+
+Arbitrary deeper hierarchies are supported through ``max_children`` — the
+engine keeps adding levels while any aggregator would exceed its fan-in bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import SDFLMQError
+from repro.core.roles import Role
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["ClusterNode", "ClusterTopology", "ClusteringEngine", "ClusteringConfig"]
+
+
+@dataclass
+class ClusterNode:
+    """One client's position within a cluster topology."""
+
+    client_id: str
+    role: Role
+    level: int
+    parent_id: Optional[str] = None
+    children: List[str] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this node is the root aggregator."""
+        return self.parent_id is None and self.role.aggregates
+
+    @property
+    def fan_in(self) -> int:
+        """Number of contributions this node waits for from its children."""
+        return len(self.children)
+
+
+@dataclass
+class ClusterTopology:
+    """A complete aggregation topology for one FL round."""
+
+    session_id: str
+    nodes: Dict[str, ClusterNode]
+    root_id: str
+    policy: str = "hierarchical"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def client_ids(self) -> List[str]:
+        """All participating client ids (sorted)."""
+        return sorted(self.nodes)
+
+    @property
+    def aggregator_ids(self) -> List[str]:
+        """Ids of all clients with an aggregating role (sorted)."""
+        return sorted(cid for cid, node in self.nodes.items() if node.role.aggregates)
+
+    @property
+    def trainer_ids(self) -> List[str]:
+        """Ids of all clients with a training role (sorted)."""
+        return sorted(cid for cid, node in self.nodes.items() if node.role.trains)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct hierarchy levels (root = level 0)."""
+        if not self.nodes:
+            return 0
+        return max(node.level for node in self.nodes.values()) + 1
+
+    def node(self, client_id: str) -> ClusterNode:
+        """Node for ``client_id`` (KeyError if absent)."""
+        return self.nodes[client_id]
+
+    def children_of(self, client_id: str) -> List[str]:
+        """Children of ``client_id`` in the aggregation tree."""
+        return list(self.nodes[client_id].children)
+
+    def parent_of(self, client_id: str) -> Optional[str]:
+        """Parent aggregator of ``client_id`` (None for the root)."""
+        return self.nodes[client_id].parent_id
+
+    def aggregators_by_level(self) -> Dict[int, List[str]]:
+        """Aggregator ids grouped by hierarchy level (sorted within levels)."""
+        by_level: Dict[int, List[str]] = {}
+        for cid, node in self.nodes.items():
+            if node.role.aggregates:
+                by_level.setdefault(node.level, []).append(cid)
+        return {level: sorted(ids) for level, ids in sorted(by_level.items())}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable description published on the session broadcast topic."""
+        return {
+            "session_id": self.session_id,
+            "root_id": self.root_id,
+            "policy": self.policy,
+            "nodes": {
+                cid: {
+                    "role": node.role.value,
+                    "level": node.level,
+                    "parent_id": node.parent_id,
+                    "children": list(node.children),
+                }
+                for cid, node in self.nodes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClusterTopology":
+        """Inverse of :meth:`to_dict`."""
+        nodes = {
+            cid: ClusterNode(
+                client_id=cid,
+                role=Role.coerce(spec["role"]),
+                level=int(spec["level"]),
+                parent_id=spec.get("parent_id"),
+                children=list(spec.get("children", [])),
+            )
+            for cid, spec in dict(data["nodes"]).items()  # type: ignore[arg-type]
+        }
+        return cls(
+            session_id=str(data["session_id"]),
+            nodes=nodes,
+            root_id=str(data["root_id"]),
+            policy=str(data.get("policy", "hierarchical")),
+        )
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`SDFLMQError` on violation."""
+        if not self.nodes:
+            raise SDFLMQError("cluster topology has no nodes")
+        if self.root_id not in self.nodes:
+            raise SDFLMQError(f"root id {self.root_id!r} is not a node")
+        root = self.nodes[self.root_id]
+        if not root.role.aggregates:
+            raise SDFLMQError("the root node must hold an aggregating role")
+        if root.parent_id is not None:
+            raise SDFLMQError("the root node must not have a parent")
+
+        for cid, node in self.nodes.items():
+            if node.client_id != cid:
+                raise SDFLMQError(f"node key {cid!r} disagrees with its client_id {node.client_id!r}")
+            if node.parent_id is None and cid != self.root_id:
+                raise SDFLMQError(f"non-root node {cid!r} has no parent")
+            if node.parent_id is not None:
+                parent = self.nodes.get(node.parent_id)
+                if parent is None:
+                    raise SDFLMQError(f"node {cid!r} references unknown parent {node.parent_id!r}")
+                if not parent.role.aggregates:
+                    raise SDFLMQError(f"parent {node.parent_id!r} of {cid!r} is not an aggregator")
+                if cid not in parent.children:
+                    raise SDFLMQError(f"parent {node.parent_id!r} does not list {cid!r} as a child")
+            for child in node.children:
+                if child not in self.nodes:
+                    raise SDFLMQError(f"node {cid!r} lists unknown child {child!r}")
+                if self.nodes[child].parent_id != cid:
+                    raise SDFLMQError(f"child {child!r} does not point back to parent {cid!r}")
+            if node.children and not node.role.aggregates:
+                raise SDFLMQError(f"node {cid!r} has children but is not an aggregator")
+            if node.role.aggregates and not node.children and len(self.nodes) > 1:
+                raise SDFLMQError(f"aggregator {cid!r} has no children")
+
+        # Reachability / acyclicity: walking up from every node must reach the root.
+        for cid in self.nodes:
+            seen = set()
+            cursor: Optional[str] = cid
+            while cursor is not None:
+                if cursor in seen:
+                    raise SDFLMQError(f"cycle detected in topology at {cursor!r}")
+                seen.add(cursor)
+                cursor = self.nodes[cursor].parent_id
+            if self.root_id not in seen:
+                raise SDFLMQError(f"node {cid!r} cannot reach the root")
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Parameters controlling topology construction.
+
+    Attributes
+    ----------
+    policy:
+        ``"hierarchical"`` or ``"central"``.
+    aggregator_fraction:
+        Fraction of clients acting as aggregators under the hierarchical
+        policy (the paper uses 0.30).
+    max_children:
+        Upper bound on any aggregator's fan-in; additional hierarchy levels
+        are introduced when the bound would be exceeded.  ``0`` disables the
+        bound (the paper's 2-layer configuration).
+    aggregators_train:
+        Whether selected aggregators also act as trainers
+        (trainer/aggregator role), as in the paper's evaluation.
+    """
+
+    policy: str = "hierarchical"
+    aggregator_fraction: float = 0.30
+    max_children: int = 0
+    aggregators_train: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("hierarchical", "central"):
+            raise ValueError(f"unknown clustering policy {self.policy!r}")
+        require_in_range(self.aggregator_fraction, "aggregator_fraction", 0.0, 1.0, inclusive=False)
+        if self.max_children < 0:
+            raise ValueError("max_children must be >= 0")
+
+
+class ClusteringEngine:
+    """Builds :class:`ClusterTopology` objects from client lists and preferences."""
+
+    def __init__(self, config: ClusteringConfig | None = None) -> None:
+        self.config = config or ClusteringConfig()
+
+    # --------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _role_for_aggregator(config: ClusteringConfig) -> Role:
+        return Role.TRAINER_AGGREGATOR if config.aggregators_train else Role.AGGREGATOR
+
+    def num_aggregators(self, num_clients: int) -> int:
+        """Number of aggregators the hierarchical policy selects for ``num_clients``."""
+        require_positive(num_clients, "num_clients")
+        if self.config.policy == "central":
+            return 1
+        return max(1, int(round(num_clients * self.config.aggregator_fraction)))
+
+    # ------------------------------------------------------------------ build
+
+    def build(
+        self,
+        session_id: str,
+        client_ids: Sequence[str],
+        aggregator_ids: Optional[Sequence[str]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ClusterTopology:
+        """Build a topology over ``client_ids``.
+
+        Parameters
+        ----------
+        session_id:
+            Session the topology belongs to.
+        client_ids:
+            All contributing clients.
+        aggregator_ids:
+            Pre-selected aggregators (e.g. from the load balancer's optimizer).
+            When omitted, aggregators are chosen deterministically from the
+            client order (shuffled by ``rng`` if given).
+        rng:
+            Optional generator used only when aggregators are not pre-selected.
+        """
+        clients = list(dict.fromkeys(client_ids))
+        if not clients:
+            raise SDFLMQError("cannot build a topology with zero clients")
+        if len(clients) == 1:
+            only = clients[0]
+            node = ClusterNode(client_id=only, role=Role.TRAINER_AGGREGATOR, level=0, children=[only])
+            # A single client both trains and "aggregates" its own update; model
+            # it as a root with itself as child is confusing, so special-case:
+            node.children = []
+            node.role = Role.TRAINER_AGGREGATOR
+            topology = ClusterTopology.__new__(ClusterTopology)
+            topology.session_id = session_id
+            topology.nodes = {only: node}
+            topology.root_id = only
+            topology.policy = self.config.policy
+            return topology
+
+        if self.config.policy == "central":
+            return self._build_central(session_id, clients, aggregator_ids)
+        return self._build_hierarchical(session_id, clients, aggregator_ids, rng)
+
+    def _select_aggregators(
+        self,
+        clients: List[str],
+        count: int,
+        aggregator_ids: Optional[Sequence[str]],
+        rng: Optional[np.random.Generator],
+    ) -> List[str]:
+        if aggregator_ids:
+            selected = [cid for cid in aggregator_ids if cid in clients][:count]
+            if not selected:
+                raise SDFLMQError("none of the requested aggregators are session contributors")
+            # Top up deterministically if the optimizer supplied too few.
+            for cid in clients:
+                if len(selected) >= count:
+                    break
+                if cid not in selected:
+                    selected.append(cid)
+            return selected
+        pool = list(clients)
+        if rng is not None:
+            rng.shuffle(pool)
+        return pool[:count]
+
+    def _build_central(
+        self,
+        session_id: str,
+        clients: List[str],
+        aggregator_ids: Optional[Sequence[str]],
+    ) -> ClusterTopology:
+        root = self._select_aggregators(clients, 1, aggregator_ids, None)[0]
+        nodes: Dict[str, ClusterNode] = {}
+        children = [cid for cid in clients if cid != root]
+        nodes[root] = ClusterNode(
+            client_id=root,
+            role=self._role_for_aggregator(self.config),
+            level=0,
+            parent_id=None,
+            children=children,
+        )
+        for cid in children:
+            nodes[cid] = ClusterNode(client_id=cid, role=Role.TRAINER, level=1, parent_id=root)
+        return ClusterTopology(session_id=session_id, nodes=nodes, root_id=root, policy="central")
+
+    def _build_hierarchical(
+        self,
+        session_id: str,
+        clients: List[str],
+        aggregator_ids: Optional[Sequence[str]],
+        rng: Optional[np.random.Generator],
+    ) -> ClusterTopology:
+        count = min(self.num_aggregators(len(clients)), len(clients) - 1) or 1
+        aggregators = self._select_aggregators(clients, count, aggregator_ids, rng)
+        trainers = [cid for cid in clients if cid not in aggregators]
+        if not trainers:
+            # Degenerate: everyone is an aggregator; demote all but one.
+            trainers = aggregators[1:]
+            aggregators = aggregators[:1]
+
+        nodes: Dict[str, ClusterNode] = {}
+        agg_role = self._role_for_aggregator(self.config)
+
+        # Root is the first aggregator; remaining aggregators form level 1,
+        # trainers level 2 — the paper's three-layer / "2-layer hierarchical
+        # aggregation" arrangement (two layers *of aggregation*).
+        root = aggregators[0]
+        intermediates = aggregators[1:]
+
+        if not intermediates:
+            # Only one aggregator selected — identical to central.
+            return self._build_central(session_id, clients, [root])
+
+        nodes[root] = ClusterNode(client_id=root, role=agg_role, level=0, parent_id=None, children=[])
+        for agg in intermediates:
+            nodes[agg] = ClusterNode(client_id=agg, role=agg_role, level=1, parent_id=root, children=[])
+            nodes[root].children.append(agg)
+
+        # Deal trainers round-robin across the intermediate aggregators so
+        # cluster sizes differ by at most one.
+        for index, trainer in enumerate(trainers):
+            head = intermediates[index % len(intermediates)]
+            nodes[trainer] = ClusterNode(client_id=trainer, role=Role.TRAINER, level=2, parent_id=head)
+            nodes[head].children.append(trainer)
+
+        # Any intermediate aggregator left without children (more aggregators
+        # than trainers) is demoted to a plain trainer under the root so that
+        # the "every aggregator has children" invariant holds.
+        for agg in intermediates:
+            if not nodes[agg].children:
+                nodes[agg].role = Role.TRAINER
+                nodes[agg].level = 1
+
+        # Optionally split over-full clusters into deeper levels.
+        if self.config.max_children > 0:
+            self._enforce_fanout(nodes, root, agg_role)
+
+        return ClusterTopology(session_id=session_id, nodes=nodes, root_id=root, policy="hierarchical")
+
+    def _enforce_fanout(self, nodes: Dict[str, ClusterNode], root: str, agg_role: Role) -> None:
+        """Split any aggregator whose fan-in exceeds ``max_children``.
+
+        Splitting promotes some of the over-full aggregator's trainer children
+        into trainer/aggregator sub-heads, pushing the extra fan-in one level
+        deeper.  This terminates because each pass strictly reduces the
+        maximum fan-in above the bound.
+        """
+        bound = self.config.max_children
+        changed = True
+        while changed:
+            changed = False
+            for agg_id in [cid for cid, n in nodes.items() if n.role.aggregates]:
+                node = nodes[agg_id]
+                if len(node.children) <= bound:
+                    continue
+                trainer_children = [c for c in node.children if not nodes[c].role.aggregates]
+                if len(trainer_children) < 2:
+                    continue
+                # Promote the first trainer child to a sub-aggregator and move
+                # the overflowing trainers beneath it.
+                promoted = trainer_children[0]
+                overflow = trainer_children[1 : 1 + (len(node.children) - bound)]
+                if not overflow:
+                    continue
+                nodes[promoted].role = agg_role
+                for moved in overflow:
+                    node.children.remove(moved)
+                    nodes[moved].parent_id = promoted
+                    nodes[moved].level = nodes[promoted].level + 1
+                    nodes[promoted].children.append(moved)
+                changed = True

@@ -1,0 +1,124 @@
+"""The coordinator's load balancer.
+
+The load balancer (paper §III.E.6) re-runs the role-optimization policy each
+round against the latest client stats, rebuilds the cluster topology with the
+chosen aggregators, and computes the *difference* against the previous
+topology so the coordinator only informs the clients whose role or position
+actually changed (paper §III.E.5: "this process informs only the clients whose
+roles have changed for the new FL round").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.clustering import ClusteringConfig, ClusteringEngine, ClusterTopology
+from repro.core.messages import RoleAssignment
+from repro.core.role_optimizers import RoleOptimizationPolicy, StaticPolicy
+from repro.sim.device import DeviceStats
+
+__all__ = ["LoadBalancer", "RebalanceResult"]
+
+
+@dataclass
+class RebalanceResult:
+    """Output of one load-balancing pass."""
+
+    topology: ClusterTopology
+    assignments: Dict[str, RoleAssignment]
+    changed_clients: List[str] = field(default_factory=list)
+    unchanged_clients: List[str] = field(default_factory=list)
+
+    @property
+    def num_informed(self) -> int:
+        """How many clients the coordinator must contact for this rebalance."""
+        return len(self.changed_clients)
+
+
+class LoadBalancer:
+    """Combines a role-optimization policy with the clustering engine."""
+
+    def __init__(
+        self,
+        clustering: Optional[ClusteringEngine] = None,
+        policy: Optional[RoleOptimizationPolicy] = None,
+    ) -> None:
+        self.clustering = clustering or ClusteringEngine(ClusteringConfig())
+        self.policy = policy or StaticPolicy()
+
+    def plan(
+        self,
+        session_id: str,
+        client_ids: Sequence[str],
+        round_index: int,
+        stats: Optional[Dict[str, DeviceStats]] = None,
+        previous: Optional[ClusterTopology] = None,
+    ) -> RebalanceResult:
+        """Produce the topology and role assignments for ``round_index``.
+
+        When ``previous`` is given, only clients whose assignment differs from
+        the previous round are listed in ``changed_clients``; on the first
+        round every client is "changed" (initial role arrangement, §III.E.3).
+        """
+        clients = list(dict.fromkeys(client_ids))
+        stats = stats or {}
+        num_aggregators = self.clustering.num_aggregators(len(clients)) if len(clients) > 1 else 1
+        num_aggregators = min(num_aggregators, len(clients))
+        current_aggregators = previous.aggregator_ids if previous is not None else []
+        selected = self.policy.select_aggregators(
+            candidates=clients,
+            num_aggregators=num_aggregators,
+            stats=stats,
+            current_aggregators=current_aggregators,
+            round_index=round_index,
+        )
+        topology = self.clustering.build(session_id, clients, aggregator_ids=selected)
+        assignments = self.assignments_for(topology, round_index)
+
+        changed: List[str] = []
+        unchanged: List[str] = []
+        if previous is None:
+            changed = list(topology.client_ids)
+        else:
+            previous_assignments = self.assignments_for(previous, round_index)
+            for cid in topology.client_ids:
+                before = previous_assignments.get(cid)
+                after = assignments[cid]
+                if before is None or not self._same_position(before, after):
+                    changed.append(cid)
+                else:
+                    unchanged.append(cid)
+        return RebalanceResult(
+            topology=topology,
+            assignments=assignments,
+            changed_clients=changed,
+            unchanged_clients=unchanged,
+        )
+
+    @staticmethod
+    def _same_position(before: RoleAssignment, after: RoleAssignment) -> bool:
+        return (
+            before.role == after.role
+            and before.parent_id == after.parent_id
+            and before.expected_contributions == after.expected_contributions
+            and sorted(before.children) == sorted(after.children)
+        )
+
+    @staticmethod
+    def assignments_for(topology: ClusterTopology, round_index: int) -> Dict[str, RoleAssignment]:
+        """Translate a topology into per-client :class:`RoleAssignment` messages."""
+        assignments: Dict[str, RoleAssignment] = {}
+        for cid in topology.client_ids:
+            node = topology.node(cid)
+            assignments[cid] = RoleAssignment(
+                session_id=topology.session_id,
+                client_id=cid,
+                role=node.role.value,
+                round_index=round_index,
+                parent_id=node.parent_id,
+                expected_contributions=node.fan_in,
+                children=list(node.children),
+                level=node.level,
+            )
+        return assignments

@@ -1,0 +1,340 @@
+"""Role-optimization policies (the coordinator's pluggable "optimizers").
+
+The paper's load balancer runs a modular optimizer each round to decide which
+clients should host aggregation for the next round (§III.E.6).  Each policy
+implements a single method, :meth:`RoleOptimizationPolicy.select_aggregators`,
+ranking the candidate clients and returning the chosen aggregator ids in
+priority order (the first returned id becomes the root aggregator).
+
+Policies included:
+
+* :class:`StaticPolicy` — keep the current aggregators (baseline / ablation);
+* :class:`RandomPolicy` — uniformly random choice each round;
+* :class:`RoundRobinPolicy` — rotate the aggregator set to spread energy and
+  memory wear across the fleet (the paper's "avoid device exhaustion");
+* :class:`MemoryAwarePolicy` — rank by reported available memory;
+* :class:`CompositeScorePolicy` — weighted score over memory, bandwidth and
+  CPU headroom ("one optimizer would process the merits of the clients based
+  only on their systematic characteristics");
+* :class:`GeneticPolicy` — a small genetic algorithm over aggregator subsets,
+  optimizing a black-box fitness (the paper lists GA/swarm optimization as a
+  key planned expansion; including it here exercises that extension point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.device import DeviceStats
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = [
+    "RoleOptimizationPolicy",
+    "StaticPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "MemoryAwarePolicy",
+    "CompositeScorePolicy",
+    "GeneticPolicy",
+    "get_policy",
+    "available_policies",
+]
+
+
+class RoleOptimizationPolicy:
+    """Base class for aggregator-selection policies."""
+
+    name = "base"
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        """Return ``num_aggregators`` client ids in priority order."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(candidates: Sequence[str], num_aggregators: int) -> List[str]:
+        pool = list(dict.fromkeys(candidates))
+        if not pool:
+            raise ValueError("no candidate clients to select aggregators from")
+        require_positive(num_aggregators, "num_aggregators")
+        if num_aggregators > len(pool):
+            raise ValueError(
+                f"requested {num_aggregators} aggregators from only {len(pool)} candidates"
+            )
+        return pool
+
+
+class StaticPolicy(RoleOptimizationPolicy):
+    """Keep the existing aggregators; fill any gap from the candidate order."""
+
+    name = "static"
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        pool = self._validate(candidates, num_aggregators)
+        selected = [cid for cid in current_aggregators if cid in pool][:num_aggregators]
+        for cid in pool:
+            if len(selected) >= num_aggregators:
+                break
+            if cid not in selected:
+                selected.append(cid)
+        return selected
+
+
+class RandomPolicy(RoleOptimizationPolicy):
+    """Uniformly random aggregator choice, reseeded per round for determinism."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        pool = self._validate(candidates, num_aggregators)
+        rng = np.random.default_rng(self.seed + round_index)
+        chosen = rng.choice(len(pool), size=num_aggregators, replace=False)
+        return [pool[i] for i in chosen]
+
+
+class RoundRobinPolicy(RoleOptimizationPolicy):
+    """Rotate the aggregator window over the (sorted) candidate list each round."""
+
+    name = "round_robin"
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        pool = sorted(self._validate(candidates, num_aggregators))
+        start = (round_index * num_aggregators) % len(pool)
+        rotated = pool[start:] + pool[:start]
+        return rotated[:num_aggregators]
+
+
+class MemoryAwarePolicy(RoleOptimizationPolicy):
+    """Pick the clients with the most reported available memory."""
+
+    name = "memory_aware"
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        pool = self._validate(candidates, num_aggregators)
+        # Sort descending by available memory; unknown clients sort last.  The
+        # client id tie-break keeps the ordering deterministic.
+        ranked = sorted(
+            pool,
+            key=lambda cid: (-(stats[cid].available_memory_bytes if cid in stats else -1), cid),
+        )
+        return ranked[:num_aggregators]
+
+
+@dataclass
+class CompositeScorePolicy(RoleOptimizationPolicy):
+    """Weighted score over memory, bandwidth and CPU headroom.
+
+    The score of client *i* is ``w_mem · mem_i + w_bw · bw_i + w_cpu ·
+    (1 − load_i)`` with each term min-max normalized over the candidate set,
+    so weights express relative importance rather than units.
+    """
+
+    memory_weight: float = 0.5
+    bandwidth_weight: float = 0.3
+    cpu_weight: float = 0.2
+
+    name = "composite"
+
+    def __post_init__(self) -> None:
+        for value, label in (
+            (self.memory_weight, "memory_weight"),
+            (self.bandwidth_weight, "bandwidth_weight"),
+            (self.cpu_weight, "cpu_weight"),
+        ):
+            require_in_range(value, label, 0.0, 1.0)
+        if self.memory_weight + self.bandwidth_weight + self.cpu_weight <= 0:
+            raise ValueError("at least one scoring weight must be positive")
+
+    @staticmethod
+    def _normalize(values: np.ndarray) -> np.ndarray:
+        span = values.max() - values.min()
+        if span <= 0:
+            return np.zeros_like(values)
+        return (values - values.min()) / span
+
+    def scores(self, candidates: Sequence[str], stats: Dict[str, DeviceStats]) -> Dict[str, float]:
+        """Per-candidate composite scores (exposed for tests and diagnostics)."""
+        pool = list(candidates)
+        memory = np.array(
+            [stats[cid].available_memory_bytes if cid in stats else 0.0 for cid in pool], dtype=float
+        )
+        bandwidth = np.array(
+            [stats[cid].bandwidth_bps if cid in stats else 0.0 for cid in pool], dtype=float
+        )
+        headroom = np.array(
+            [1.0 - stats[cid].cpu_load if cid in stats else 0.0 for cid in pool], dtype=float
+        )
+        total = (
+            self.memory_weight * self._normalize(memory)
+            + self.bandwidth_weight * self._normalize(bandwidth)
+            + self.cpu_weight * self._normalize(headroom)
+        )
+        return dict(zip(pool, total.tolist()))
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        pool = self._validate(candidates, num_aggregators)
+        scores = self.scores(pool, stats)
+        ranked = sorted(pool, key=lambda cid: (-scores[cid], cid))
+        return ranked[:num_aggregators]
+
+
+class GeneticPolicy(RoleOptimizationPolicy):
+    """Genetic-algorithm search over aggregator subsets.
+
+    The fitness of a subset defaults to the sum of composite scores of its
+    members, but any callable ``fitness(subset, stats) -> float`` can be
+    supplied — making the policy usable as the black-box optimizer the paper
+    proposes for dynamic aggregation placement.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        population_size: int = 24,
+        generations: int = 12,
+        mutation_rate: float = 0.15,
+        seed: int = 0,
+        fitness: Optional[Callable[[Sequence[str], Dict[str, DeviceStats]], float]] = None,
+    ) -> None:
+        require_positive(population_size, "population_size")
+        require_positive(generations, "generations")
+        require_in_range(mutation_rate, "mutation_rate", 0.0, 1.0)
+        self.population_size = int(population_size)
+        self.generations = int(generations)
+        self.mutation_rate = float(mutation_rate)
+        self.seed = int(seed)
+        self._fitness = fitness
+        self._scorer = CompositeScorePolicy()
+
+    def _default_fitness(self, subset: Sequence[str], stats: Dict[str, DeviceStats]) -> float:
+        scores = self._scorer.scores(list(stats) or list(subset), stats)
+        return float(sum(scores.get(cid, 0.0) for cid in subset))
+
+    def select_aggregators(
+        self,
+        candidates: Sequence[str],
+        num_aggregators: int,
+        stats: Dict[str, DeviceStats],
+        current_aggregators: Sequence[str] = (),
+        round_index: int = 0,
+    ) -> List[str]:
+        pool = self._validate(candidates, num_aggregators)
+        if num_aggregators == len(pool):
+            return list(pool)
+        fitness = self._fitness or self._default_fitness
+        rng = np.random.default_rng(self.seed + round_index)
+        indices = np.arange(len(pool))
+
+        def random_subset() -> np.ndarray:
+            return rng.choice(indices, size=num_aggregators, replace=False)
+
+        population = [random_subset() for _ in range(self.population_size)]
+        if current_aggregators:
+            seeded = np.array(
+                [pool.index(cid) for cid in current_aggregators if cid in pool][:num_aggregators]
+            )
+            if len(seeded) == num_aggregators:
+                population[0] = seeded
+
+        def evaluate(subset: np.ndarray) -> float:
+            return fitness([pool[i] for i in subset], stats)
+
+        for _generation in range(self.generations):
+            scored = sorted(population, key=evaluate, reverse=True)
+            elite = scored[: max(2, self.population_size // 4)]
+            next_population = list(elite)
+            while len(next_population) < self.population_size:
+                pa, pb = rng.choice(len(elite), size=2, replace=True)
+                parent_a, parent_b = elite[int(pa)], elite[int(pb)]
+                merged = np.unique(np.concatenate([parent_a, parent_b]))
+                rng.shuffle(merged)
+                child = merged[:num_aggregators]
+                while len(child) < num_aggregators:
+                    extra = rng.choice(indices)
+                    if extra not in child:
+                        child = np.append(child, extra)
+                if rng.random() < self.mutation_rate:
+                    victim = rng.integers(0, num_aggregators)
+                    replacement = rng.choice(indices)
+                    if replacement not in child:
+                        child[victim] = replacement
+                next_population.append(np.sort(child))
+            population = next_population
+
+        best = max(population, key=evaluate)
+        ranked = sorted(
+            (pool[i] for i in best),
+            key=lambda cid: (-(stats[cid].available_memory_bytes if cid in stats else 0), cid),
+        )
+        return ranked
+
+
+_POLICIES: Dict[str, Callable[..., RoleOptimizationPolicy]] = {
+    StaticPolicy.name: StaticPolicy,
+    RandomPolicy.name: RandomPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    MemoryAwarePolicy.name: MemoryAwarePolicy,
+    CompositeScorePolicy.name: CompositeScorePolicy,
+    GeneticPolicy.name: GeneticPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names of all registered role-optimization policies."""
+    return sorted(_POLICIES)
+
+
+def get_policy(name: str, **kwargs) -> RoleOptimizationPolicy:
+    """Instantiate a policy by name."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise ValueError(f"unknown role policy {name!r}; available: {available_policies()}")
+    return _POLICIES[key](**kwargs)

@@ -1,0 +1,45 @@
+"""Client roles in the SDFLMQ ecosystem.
+
+The paper (§III.C) defines three primary roles a contributing client can hold
+in a session: *Trainer*, *Aggregator*, and *Trainer/Aggregator*.  The enum
+below also includes *Idle* (joined a session but not selected for the current
+round — relevant when sessions are over-subscribed) so role transitions are
+always explicit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Role"]
+
+
+class Role(str, enum.Enum):
+    """Roles a client can hold within one FL session round."""
+
+    TRAINER = "trainer"
+    AGGREGATOR = "aggregator"
+    TRAINER_AGGREGATOR = "trainer_aggregator"
+    IDLE = "idle"
+
+    @property
+    def trains(self) -> bool:
+        """Whether a client in this role performs local training."""
+        return self in (Role.TRAINER, Role.TRAINER_AGGREGATOR)
+
+    @property
+    def aggregates(self) -> bool:
+        """Whether a client in this role accepts and reduces peer models."""
+        return self in (Role.AGGREGATOR, Role.TRAINER_AGGREGATOR)
+
+    @classmethod
+    def coerce(cls, value: "Role | str") -> "Role":
+        """Accept either the enum or its string value."""
+        if isinstance(value, Role):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown role {value!r}; expected one of {[r.value for r in cls]}"
+            ) from exc

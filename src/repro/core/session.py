@@ -1,0 +1,180 @@
+"""FL session state held by the coordinator.
+
+A session (paper §III.E.1) is created when a client requests global updating
+for a model, tracks the contributing clients, the round counter, the current
+cluster topology, and terminates when either the round budget or the session
+time budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.clustering import ClusterTopology
+from repro.core.errors import SessionError, SessionFullError
+from repro.core.messages import ClientStatsReport, SessionRequest
+from repro.sim.device import DeviceStats
+
+__all__ = ["SessionState", "FLSession"]
+
+
+class SessionState(str, enum.Enum):
+    """Lifecycle states of an FL session."""
+
+    WAITING_FOR_CONTRIBUTORS = "waiting"
+    READY = "ready"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class FLSession:
+    """Coordinator-side record of one federated learning session."""
+
+    request: SessionRequest
+    created_at: float = 0.0
+    state: SessionState = SessionState.WAITING_FOR_CONTRIBUTORS
+    contributors: List[str] = field(default_factory=list)
+    preferred_roles: Dict[str, str] = field(default_factory=dict)
+    client_samples: Dict[str, int] = field(default_factory=dict)
+    round_index: int = 0
+    topology: Optional[ClusterTopology] = None
+    stats: Dict[str, DeviceStats] = field(default_factory=dict)
+    round_reports: Dict[int, Set[str]] = field(default_factory=dict)
+    global_versions: int = 0
+    completed_rounds: int = 0
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def session_id(self) -> str:
+        """Identifier of the session."""
+        return self.request.session_id
+
+    @property
+    def model_name(self) -> str:
+        """Name of the model being trained in this session."""
+        return self.request.model_name
+
+    @property
+    def capacity_min(self) -> int:
+        """Minimum number of contributors before the session can start."""
+        return self.request.session_capacity_min
+
+    @property
+    def capacity_max(self) -> int:
+        """Maximum number of contributors the session accepts."""
+        return self.request.session_capacity_max
+
+    @property
+    def fl_rounds(self) -> int:
+        """Total number of FL rounds this session will run."""
+        return self.request.fl_rounds
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the session reached its maximum capacity."""
+        return len(self.contributors) >= self.capacity_max
+
+    @property
+    def has_quorum(self) -> bool:
+        """Whether enough contributors joined for the session to start."""
+        return len(self.contributors) >= self.capacity_min
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the session is still accepting work (not completed/terminated)."""
+        return self.state in (
+            SessionState.WAITING_FOR_CONTRIBUTORS,
+            SessionState.READY,
+            SessionState.RUNNING,
+        )
+
+    # ------------------------------------------------------------ membership
+
+    def add_contributor(self, client_id: str, preferred_role: str = "trainer", num_samples: int = 0) -> int:
+        """Add a contributor; returns the contributor count after joining."""
+        if not self.is_active:
+            raise SessionError(f"session {self.session_id!r} is not accepting contributors")
+        if client_id in self.contributors:
+            return len(self.contributors)
+        if self.is_full:
+            raise SessionFullError(
+                f"session {self.session_id!r} is full ({self.capacity_max} contributors)"
+            )
+        self.contributors.append(client_id)
+        self.preferred_roles[client_id] = preferred_role
+        self.client_samples[client_id] = int(num_samples)
+        if self.has_quorum and self.state == SessionState.WAITING_FOR_CONTRIBUTORS:
+            self.state = SessionState.READY
+        return len(self.contributors)
+
+    def remove_contributor(self, client_id: str) -> bool:
+        """Remove a contributor (e.g. it disconnected); returns True if present."""
+        if client_id not in self.contributors:
+            return False
+        self.contributors.remove(client_id)
+        self.preferred_roles.pop(client_id, None)
+        self.client_samples.pop(client_id, None)
+        if not self.has_quorum and self.state == SessionState.READY:
+            self.state = SessionState.WAITING_FOR_CONTRIBUTORS
+        return True
+
+    # ---------------------------------------------------------------- rounds
+
+    def begin(self) -> None:
+        """Transition to RUNNING (requires quorum)."""
+        if not self.has_quorum:
+            raise SessionError(
+                f"session {self.session_id!r} needs {self.capacity_min} contributors, "
+                f"has {len(self.contributors)}"
+            )
+        self.state = SessionState.RUNNING
+
+    def record_stats(self, report: ClientStatsReport) -> None:
+        """Store a client's per-round stats report."""
+        self.stats[report.client_id] = DeviceStats(
+            device_id=report.client_id,
+            round_index=report.round_index,
+            available_memory_bytes=report.available_memory_bytes,
+            cpu_load=report.cpu_load,
+            bandwidth_bps=report.bandwidth_bps,
+        )
+        self.round_reports.setdefault(report.round_index, set()).add(report.client_id)
+
+    def round_ready(self, round_index: int) -> bool:
+        """Whether every contributor reported readiness for ``round_index``."""
+        reported = self.round_reports.get(round_index, set())
+        return set(self.contributors).issubset(reported)
+
+    def note_global_update(self) -> int:
+        """Record that a global model version was produced; returns the count."""
+        self.global_versions += 1
+        return self.global_versions
+
+    def advance_round(self) -> int:
+        """Mark the current round complete; returns the next round index.
+
+        Transitions the session to COMPLETED once the round budget is spent.
+        """
+        if self.state != SessionState.RUNNING:
+            raise SessionError(f"cannot advance a session in state {self.state.value!r}")
+        self.completed_rounds += 1
+        self.round_index += 1
+        if self.completed_rounds >= self.fl_rounds:
+            self.state = SessionState.COMPLETED
+        return self.round_index
+
+    def terminate(self, reason: str = "") -> None:
+        """Force-terminate the session (time budget exhausted, operator action)."""
+        if self.state in (SessionState.COMPLETED, SessionState.TERMINATED):
+            return
+        self.state = SessionState.TERMINATED
+        _ = reason  # retained for future structured logging
+
+    def expired(self, now: float) -> bool:
+        """Whether the session passed its wall-time budget at simulated time ``now``."""
+        return now - self.created_at > self.request.session_time_s

@@ -1,0 +1,33 @@
+"""Experiment harness: the code that regenerates every figure of the paper.
+
+Each module corresponds to one evaluation artefact (see DESIGN.md §4):
+
+* :mod:`repro.experiments.fig7_accuracy` — Fig. 7, accuracy convergence of
+  offline training vs 2-layer hierarchical SDFL with 5 clients;
+* :mod:`repro.experiments.fig8_delay` — Fig. 8, total processing delay of 10
+  FL rounds vs number of clients for hierarchical vs central aggregation;
+* :mod:`repro.experiments.ablations` — ablation studies of the design choices
+  the paper calls out (aggregator fraction, payload compression/batching,
+  per-round role rearrangement, broker bridging, FL topologies, aggregation
+  strategies);
+* :mod:`repro.experiments.report` — plain-text table/series rendering used by
+  the benchmark harness to print paper-style rows.
+"""
+
+from repro.experiments.fig7_accuracy import Fig7Config, Fig7Result, run_fig7
+from repro.experiments.fig8_delay import Fig8Config, Fig8Result, run_fig8
+from repro.experiments.report import format_table, format_series, rows_to_markdown
+from repro.experiments import ablations
+
+__all__ = [
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Config",
+    "Fig8Result",
+    "run_fig8",
+    "format_table",
+    "format_series",
+    "rows_to_markdown",
+    "ablations",
+]

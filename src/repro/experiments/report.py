@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place (fixed-width tables for terminals,
+markdown tables for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "rows_to_markdown"]
+
+
+def _format_value(value: object, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], precision: int = 4) -> str:
+    """Render a list of dict rows as an aligned fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_value(row.get(col, ""), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return "\n".join([header, separator, body])
+
+
+def format_series(name: str, values: Iterable[float], precision: int = 4) -> str:
+    """Render one named numeric series on a single line."""
+    rendered = ", ".join(f"{float(v):.{precision}f}" for v in values)
+    return f"{name}: [{rendered}]"
+
+
+def rows_to_markdown(rows: Sequence[Mapping[str, object]], precision: int = 4) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_value(row.get(col, ""), precision) for col in columns) + " |")
+    return "\n".join(lines)

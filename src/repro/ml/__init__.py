@@ -1,0 +1,89 @@
+"""From-scratch numpy ML substrate used in place of PyTorch.
+
+The paper's evaluation trains a fully connected MLP on MNIST with
+cross-entropy loss and the Adam optimizer.  This package provides the minimal
+but complete machinery to do the same at laptop scale:
+
+* :mod:`repro.ml.layers` — composable layers with explicit forward/backward,
+* :mod:`repro.ml.losses` — cross-entropy (with integrated softmax) and MSE,
+* :mod:`repro.ml.optim` — SGD, momentum, Adam, AdamW,
+* :mod:`repro.ml.models` — model factories and the :class:`ClassifierModel`
+  training wrapper that the FL client's training pipeline uses,
+* :mod:`repro.ml.state` — state-dict utilities (flatten/unflatten, sizes),
+* :mod:`repro.ml.data` — array datasets and mini-batch loaders,
+* :mod:`repro.ml.datasets` — deterministic synthetic "digits" data standing in
+  for MNIST (no network access in this environment),
+* :mod:`repro.ml.partition` — IID / Dirichlet / shard client partitioners,
+* :mod:`repro.ml.metrics` — accuracy and related metrics.
+
+All arrays are ``float64`` by default for numerical robustness in tests, with
+``float32`` used on the wire (see :mod:`repro.core.model_controller`) to keep
+payload sizes realistic.
+"""
+
+from repro.ml.layers import (
+    Layer,
+    Linear,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Dropout,
+    Flatten,
+    Sequential,
+)
+from repro.ml.losses import CrossEntropyLoss, MSELoss, softmax
+from repro.ml.optim import SGD, Adam, AdamW, Optimizer
+from repro.ml.models import ClassifierModel, make_mlp, make_logistic_regression, make_paper_mlp
+from repro.ml.state import (
+    state_dict_num_parameters,
+    state_dict_nbytes,
+    flatten_state_dict,
+    unflatten_state_dict,
+    zeros_like_state_dict,
+    state_dicts_allclose,
+)
+from repro.ml.data import ArrayDataset, DataLoader, train_test_split
+from repro.ml.datasets import synthetic_digits, SyntheticDigitsConfig
+from repro.ml.partition import iid_partition, dirichlet_partition, shard_partition
+from repro.ml.metrics import accuracy, confusion_matrix, top_k_accuracy
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "softmax",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "ClassifierModel",
+    "make_mlp",
+    "make_logistic_regression",
+    "make_paper_mlp",
+    "state_dict_num_parameters",
+    "state_dict_nbytes",
+    "flatten_state_dict",
+    "unflatten_state_dict",
+    "zeros_like_state_dict",
+    "state_dicts_allclose",
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "synthetic_digits",
+    "SyntheticDigitsConfig",
+    "iid_partition",
+    "dirichlet_partition",
+    "shard_partition",
+    "accuracy",
+    "confusion_matrix",
+    "top_k_accuracy",
+]

@@ -1,0 +1,455 @@
+"""The in-process MQTT broker.
+
+The broker owns the subscription trie, retained messages, client sessions
+(including persistent sessions and last-will handling) and the traffic log.
+Message delivery is *queued*: a publish places :class:`DeliveryRecord` objects
+in each subscriber's inbox; subscribers process them when their ``loop()`` is
+pumped.  This keeps routing deterministic and avoids unbounded recursion when
+a message handler publishes further messages (which is constant behaviour in
+the SDFLMQ choreography).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Set, Tuple
+
+from repro.mqtt.errors import (
+    ClientIdInUseError,
+    InvalidTopicError,
+    PayloadTooLargeError,
+)
+from repro.mqtt.messages import (
+    QOS_HANDSHAKE_PACKETS,
+    DeliveryRecord,
+    MQTTMessage,
+    QoS,
+)
+from repro.mqtt.network import NetworkModel, TrafficLog, TrafficRecord
+from repro.mqtt.topics import TopicTrie, validate_topic, validate_topic_filter
+from repro.utils.validation import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mqtt.bridge import BrokerBridge
+
+__all__ = ["MQTTBroker", "BrokerStats", "Subscription"]
+
+
+class DeliveryTarget(Protocol):
+    """Anything the broker can deliver to (normally :class:`repro.mqtt.MQTTClient`)."""
+
+    client_id: str
+
+    def _deliver(self, record: DeliveryRecord) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A (client, filter, qos) triple held by the broker."""
+
+    client_id: str
+    topic_filter: str
+    qos: QoS
+
+
+@dataclass
+class BrokerStats:
+    """Counters the broker maintains for observability and tests."""
+
+    connects: int = 0
+    disconnects: int = 0
+    messages_published: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_queued_offline: int = 0
+    bytes_published: int = 0
+    bytes_delivered: int = 0
+    retained_messages: int = 0
+    bridged_in: int = 0
+    bridged_out: int = 0
+
+
+@dataclass
+class _ClientSession:
+    """Broker-side state for one client id."""
+
+    client_id: str
+    clean_session: bool = True
+    connected: bool = False
+    target: Optional[DeliveryTarget] = None
+    subscriptions: Dict[str, QoS] = field(default_factory=dict)
+    will: Optional[MQTTMessage] = None
+    offline_queue: List[DeliveryRecord] = field(default_factory=list)
+
+
+class MQTTBroker:
+    """An MQTT 3.1.1-style broker running inside the simulation process.
+
+    Parameters
+    ----------
+    name:
+        Broker name; used as the message ``origin_broker`` tag and in bridge
+        loop prevention.
+    network:
+        Optional :class:`NetworkModel` used to attribute transfer delays to
+        every delivery.  When ``None``, deliveries are instantaneous.
+    clock:
+        Optional object with a ``now()`` method returning the simulated time;
+        used to timestamp messages and deliveries.
+    max_payload_bytes:
+        Maximum accepted payload size (matches the configurable packet-size
+        limit in real brokers; MQTTFC's batching layer exists to stay below
+        this).
+    max_offline_queue:
+        Maximum number of QoS>0 messages queued for a disconnected persistent
+        session before old ones are discarded.
+    """
+
+    def __init__(
+        self,
+        name: str = "broker",
+        network: Optional[NetworkModel] = None,
+        clock: Optional[object] = None,
+        max_payload_bytes: int = 256 * 1024 * 1024,
+        max_offline_queue: int = 10_000,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.clock = clock
+        self.max_payload_bytes = int(require_positive(max_payload_bytes, "max_payload_bytes"))
+        self.max_offline_queue = int(require_positive(max_offline_queue, "max_offline_queue"))
+
+        self._sessions: Dict[str, _ClientSession] = {}
+        self._subscriptions: TopicTrie[Tuple[str, QoS]] = TopicTrie()
+        self._retained: Dict[str, MQTTMessage] = {}
+        self._bridges: List["BrokerBridge"] = []
+        self._seen_bridge_messages: Set[Tuple[str, int]] = set()
+        self._message_ids = itertools.count(1)
+        self._delivery_sequence = itertools.count(1)
+        self.stats = BrokerStats()
+        self.traffic = TrafficLog()
+
+    # ------------------------------------------------------------------ time
+
+    def now(self) -> float:
+        """Current simulated time (0.0 when no clock is attached)."""
+        if self.clock is None:
+            return 0.0
+        return float(self.clock.now())
+
+    # ----------------------------------------------------------- connections
+
+    def connect(
+        self,
+        target: DeliveryTarget,
+        clean_session: bool = True,
+        will: Optional[MQTTMessage] = None,
+    ) -> bool:
+        """Attach a client to the broker.
+
+        Returns ``True`` if a persistent session was resumed, ``False`` for a
+        fresh session.  Raises :class:`ClientIdInUseError` if another live
+        client already uses the id (mirrors broker takeover semantics being
+        disabled).
+        """
+        client_id = target.client_id
+        session = self._sessions.get(client_id)
+        if session is not None and session.connected:
+            raise ClientIdInUseError(f"client id {client_id!r} is already connected")
+
+        resumed = False
+        if session is None or clean_session or session.clean_session:
+            if session is not None:
+                self._drop_subscriptions(session)
+            session = _ClientSession(client_id=client_id, clean_session=clean_session)
+            self._sessions[client_id] = session
+        else:
+            resumed = True
+
+        session.connected = True
+        session.clean_session = clean_session
+        session.target = target
+        session.will = will
+        self.stats.connects += 1
+
+        if resumed:
+            for topic_filter, qos in session.subscriptions.items():
+                self._subscriptions.insert(topic_filter, (client_id, qos))
+            pending, session.offline_queue = session.offline_queue, []
+            for record in pending:
+                self._hand_over(session, record)
+        return resumed
+
+    def disconnect(self, client_id: str, unexpected: bool = False) -> None:
+        """Detach a client.
+
+        With ``unexpected=True`` the broker publishes the client's last-will
+        message (if any), mirroring a keep-alive timeout on a real broker.
+        """
+        session = self._sessions.get(client_id)
+        if session is None or not session.connected:
+            return
+        will = session.will
+        session.connected = False
+        session.target = None
+        session.will = None
+        self.stats.disconnects += 1
+        if session.clean_session:
+            self._drop_subscriptions(session)
+            del self._sessions[client_id]
+        if unexpected and will is not None:
+            self.publish(will)
+
+    def _drop_subscriptions(self, session: _ClientSession) -> None:
+        for topic_filter, qos in session.subscriptions.items():
+            self._subscriptions.remove(topic_filter, (session.client_id, qos))
+        session.subscriptions.clear()
+
+    def is_connected(self, client_id: str) -> bool:
+        """Whether a client id currently has a live connection."""
+        session = self._sessions.get(client_id)
+        return session is not None and session.connected
+
+    @property
+    def connected_clients(self) -> List[str]:
+        """Ids of currently connected clients (sorted for determinism)."""
+        return sorted(cid for cid, s in self._sessions.items() if s.connected)
+
+    @property
+    def session_count(self) -> int:
+        """Number of sessions (connected or persistent-offline) the broker holds."""
+        return len(self._sessions)
+
+    # --------------------------------------------------------- subscriptions
+
+    def subscribe(self, client_id: str, topic_filter: str, qos: QoS | int = QoS.AT_MOST_ONCE) -> QoS:
+        """Subscribe ``client_id`` to ``topic_filter``; returns the granted QoS.
+
+        Retained messages matching the filter are delivered immediately, as per
+        the MQTT specification.
+        """
+        session = self._require_session(client_id)
+        qos = QoS.coerce(qos)
+        validate_topic_filter(topic_filter)
+        previous = session.subscriptions.get(topic_filter)
+        if previous is not None and previous != qos:
+            self._subscriptions.remove(topic_filter, (client_id, previous))
+        session.subscriptions[topic_filter] = qos
+        self._subscriptions.insert(topic_filter, (client_id, qos))
+
+        # Retained message replay.
+        for topic, message in self._retained.items():
+            from repro.mqtt.topics import topic_matches_filter
+
+            if topic_matches_filter(topic, topic_filter):
+                record = self._make_delivery(message, client_id, topic_filter, qos, retained_replay=True)
+                if record is not None:
+                    self._hand_over(session, record)
+        return qos
+
+    def unsubscribe(self, client_id: str, topic_filter: str) -> bool:
+        """Remove a subscription; returns True if it existed."""
+        session = self._require_session(client_id)
+        qos = session.subscriptions.pop(topic_filter, None)
+        if qos is None:
+            return False
+        self._subscriptions.remove(topic_filter, (client_id, qos))
+        return True
+
+    def subscriptions_of(self, client_id: str) -> Dict[str, QoS]:
+        """Return a copy of the client's current subscription map."""
+        session = self._sessions.get(client_id)
+        if session is None:
+            return {}
+        return dict(session.subscriptions)
+
+    def subscriber_count(self, topic: str) -> int:
+        """Number of distinct clients whose filters match a concrete topic."""
+        return len({cid for cid, _ in self._subscriptions.match(topic)})
+
+    def _require_session(self, client_id: str) -> _ClientSession:
+        session = self._sessions.get(client_id)
+        if session is None:
+            raise KeyError(f"unknown client id {client_id!r}; connect first")
+        return session
+
+    # ---------------------------------------------------------------- publish
+
+    def publish(self, message: MQTTMessage, _from_bridge: bool = False) -> List[DeliveryRecord]:
+        """Route a message to all matching subscribers.
+
+        Returns the list of delivery records created (one per receiving
+        client), which tests and the simulation layer use to reason about
+        fan-out and delay.
+        """
+        validate_topic(message.topic)
+        if message.size_bytes > self.max_payload_bytes:
+            raise PayloadTooLargeError(
+                f"payload of {message.size_bytes} bytes exceeds broker limit "
+                f"of {self.max_payload_bytes} bytes"
+            )
+
+        if message.origin_broker is None:
+            message.origin_broker = self.name
+        if message.message_id < 0:
+            message.message_id = next(self._message_ids)
+        if message.timestamp == 0.0:
+            message.timestamp = self.now()
+
+        key = (message.origin_broker, message.message_id)
+        if _from_bridge:
+            if key in self._seen_bridge_messages:
+                return []
+            self.stats.bridged_in += 1
+        self._seen_bridge_messages.add(key)
+
+        self.stats.messages_published += 1
+        self.stats.bytes_published += message.size_bytes
+
+        if message.retain:
+            if message.size_bytes == 0:
+                self._retained.pop(message.topic, None)
+            else:
+                self._retained[message.topic] = message.copy()
+            self.stats.retained_messages = len(self._retained)
+
+        deliveries: List[DeliveryRecord] = []
+        matches = sorted(self._subscriptions.match(message.topic))
+        for client_id, sub_qos in matches:
+            if client_id == message.sender_id and self._suppress_echo:
+                continue
+            session = self._sessions.get(client_id)
+            if session is None:
+                continue
+            # Find which of the client's filters matched (for callback routing).
+            matched_filter = self._matched_filter(session, message.topic, sub_qos)
+            record = self._make_delivery(message, client_id, matched_filter, sub_qos)
+            if record is None:
+                continue
+            deliveries.append(record)
+            if session.connected and session.target is not None:
+                self._hand_over(session, record)
+            elif not session.clean_session and record.effective_qos > QoS.AT_MOST_ONCE:
+                if len(session.offline_queue) < self.max_offline_queue:
+                    session.offline_queue.append(record)
+                    self.stats.messages_queued_offline += 1
+                else:
+                    self.stats.messages_dropped += 1
+            else:
+                self.stats.messages_dropped += 1
+
+        for bridge in self._bridges:
+            forwarded = bridge.on_local_publish(self, message)
+            if forwarded:
+                self.stats.bridged_out += forwarded
+
+        return deliveries
+
+    #: When True (default), a publisher does not receive its own messages even
+    #: if one of its subscriptions matches.  Real MQTT *does* echo messages
+    #: back; SDFLMQ's topic scheme never requires the echo and suppressing it
+    #: halves the traffic on the shared session topics, so it is the default.
+    _suppress_echo = True
+
+    def _matched_filter(self, session: _ClientSession, topic: str, qos: QoS) -> str:
+        from repro.mqtt.topics import topic_matches_filter
+
+        for topic_filter, sub_qos in session.subscriptions.items():
+            if sub_qos == qos and topic_matches_filter(topic, topic_filter):
+                return topic_filter
+        for topic_filter in session.subscriptions:
+            if topic_matches_filter(topic, topic_filter):
+                return topic_filter
+        return topic
+
+    def _make_delivery(
+        self,
+        message: MQTTMessage,
+        client_id: str,
+        topic_filter: str,
+        sub_qos: QoS,
+        retained_replay: bool = False,
+    ) -> Optional[DeliveryRecord]:
+        effective_qos = QoS(min(message.qos, sub_qos))
+        if self.network is not None and self.network.should_drop(client_id, int(effective_qos)):
+            self.stats.messages_dropped += 1
+            return None
+
+        transfer_time = 0.0
+        if self.network is not None:
+            transfer_time = self.network.end_to_end_time(
+                message.sender_id, client_id, message.size_bytes
+            )
+        deliver_at = (message.timestamp if not retained_replay else self.now()) + transfer_time
+        record = DeliveryRecord(
+            message=message,
+            subscriber_id=client_id,
+            subscription_filter=topic_filter,
+            effective_qos=effective_qos,
+            deliver_at=deliver_at,
+            sequence=next(self._delivery_sequence),
+        )
+        self.traffic.add(
+            TrafficRecord(
+                topic=message.topic,
+                sender_id=message.sender_id or "?",
+                receiver_id=client_id,
+                payload_bytes=message.size_bytes,
+                qos=int(effective_qos),
+                transfer_time_s=transfer_time,
+                handshake_packets=QOS_HANDSHAKE_PACKETS[effective_qos],
+                timestamp=message.timestamp,
+                broker=self.name,
+            )
+        )
+        return record
+
+    def _hand_over(self, session: _ClientSession, record: DeliveryRecord) -> None:
+        assert session.target is not None
+        session.target._deliver(record)
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += record.message.size_bytes
+
+    # --------------------------------------------------------------- retained
+
+    def retained_message(self, topic: str) -> Optional[MQTTMessage]:
+        """Return the retained message for a concrete topic, if any."""
+        return self._retained.get(topic)
+
+    @property
+    def retained_topics(self) -> List[str]:
+        """Topics that currently hold a retained message (sorted)."""
+        return sorted(self._retained)
+
+    # ---------------------------------------------------------------- bridges
+
+    def attach_bridge(self, bridge: "BrokerBridge") -> None:
+        """Register a bridge; called by :class:`BrokerBridge` itself."""
+        if bridge not in self._bridges:
+            self._bridges.append(bridge)
+
+    def detach_bridge(self, bridge: "BrokerBridge") -> None:
+        """Unregister a bridge."""
+        if bridge in self._bridges:
+            self._bridges.remove(bridge)
+
+    @property
+    def bridges(self) -> List["BrokerBridge"]:
+        """Bridges currently attached to this broker."""
+        return list(self._bridges)
+
+    # ------------------------------------------------------------------ misc
+
+    def reset_stats(self) -> None:
+        """Zero the counters and the traffic log (subscriptions are kept)."""
+        self.stats = BrokerStats()
+        self.stats.retained_messages = len(self._retained)
+        self.traffic.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MQTTBroker(name={self.name!r}, clients={len(self.connected_clients)}, "
+            f"subscriptions={len(self._subscriptions)})"
+        )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the MQTT substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MQTTError",
+    "NotConnectedError",
+    "InvalidTopicError",
+    "InvalidTopicFilterError",
+    "PayloadTooLargeError",
+    "ClientIdInUseError",
+]
+
+
+class MQTTError(Exception):
+    """Base class for all MQTT-substrate errors."""
+
+
+class NotConnectedError(MQTTError):
+    """Raised when publish/subscribe is attempted on a disconnected client."""
+
+
+class InvalidTopicError(MQTTError, ValueError):
+    """Raised when a publish topic is malformed (empty, wildcard, bad chars)."""
+
+
+class InvalidTopicFilterError(MQTTError, ValueError):
+    """Raised when a subscription filter is malformed."""
+
+
+class PayloadTooLargeError(MQTTError, ValueError):
+    """Raised when a payload exceeds the broker's configured maximum size."""
+
+
+class ClientIdInUseError(MQTTError):
+    """Raised when a second client connects with an already-active client id."""

@@ -1,0 +1,119 @@
+"""Message objects exchanged through the in-process MQTT substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["QoS", "MQTTMessage", "DeliveryRecord"]
+
+
+class QoS(enum.IntEnum):
+    """MQTT quality-of-service levels.
+
+    The integer values match the MQTT specification so they can be compared
+    and ``min()``-combined directly (effective delivery QoS is the minimum of
+    the publish QoS and the subscription QoS).
+    """
+
+    AT_MOST_ONCE = 0
+    AT_LEAST_ONCE = 1
+    EXACTLY_ONCE = 2
+
+    @classmethod
+    def coerce(cls, value: "QoS | int") -> "QoS":
+        """Convert an int or QoS into a QoS, validating the range."""
+        try:
+            return cls(int(value))
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ValueError(f"invalid QoS level: {value!r}") from exc
+
+
+#: Number of control packets (beyond the PUBLISH itself) exchanged per hop for
+#: each QoS level: QoS0 has none, QoS1 has PUBACK, QoS2 has PUBREC/PUBREL/PUBCOMP.
+QOS_HANDSHAKE_PACKETS = {QoS.AT_MOST_ONCE: 0, QoS.AT_LEAST_ONCE: 1, QoS.EXACTLY_ONCE: 3}
+
+
+@dataclass
+class MQTTMessage:
+    """A published application message.
+
+    Attributes
+    ----------
+    topic:
+        The concrete (wildcard-free) topic the message was published to.
+    payload:
+        Raw payload bytes.  SDFLMQ always publishes ``bytes``; convenience
+        conversion from ``str`` happens in the client.
+    qos:
+        QoS level requested by the publisher.
+    retain:
+        Whether the broker should keep this message as the retained message
+        for the topic.
+    sender_id:
+        Client id of the publisher (filled in by the client on publish).
+    origin_broker:
+        Name of the broker the message was first published to.  Used by the
+        bridging layer for loop prevention.
+    timestamp:
+        Simulated publish time in seconds (0.0 when no clock is attached).
+    message_id:
+        Monotonically increasing id assigned by the originating broker.
+    """
+
+    topic: str
+    payload: bytes = b""
+    qos: QoS = QoS.AT_MOST_ONCE
+    retain: bool = False
+    sender_id: Optional[str] = None
+    origin_broker: Optional[str] = None
+    timestamp: float = 0.0
+    message_id: int = -1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.payload, str):
+            self.payload = self.payload.encode("utf-8")
+        elif isinstance(self.payload, (bytearray, memoryview)):
+            self.payload = bytes(self.payload)
+        self.qos = QoS.coerce(self.qos)
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size in bytes (topic/header overhead is accounted separately)."""
+        return len(self.payload)
+
+    def payload_text(self, encoding: str = "utf-8") -> str:
+        """Decode the payload as text."""
+        return self.payload.decode(encoding)
+
+    def copy(self) -> "MQTTMessage":
+        """Return a shallow copy (payload bytes are immutable so sharing is safe)."""
+        return MQTTMessage(
+            topic=self.topic,
+            payload=self.payload,
+            qos=self.qos,
+            retain=self.retain,
+            sender_id=self.sender_id,
+            origin_broker=self.origin_broker,
+            timestamp=self.timestamp,
+            message_id=self.message_id,
+        )
+
+
+@dataclass
+class DeliveryRecord:
+    """A message queued for delivery to one particular subscriber.
+
+    ``effective_qos`` is ``min(publish qos, subscription qos)`` per the MQTT
+    specification.  ``deliver_at`` is the simulated time at which the message
+    becomes visible to the subscriber (publish time + modelled network delay).
+    """
+
+    message: MQTTMessage
+    subscriber_id: str
+    subscription_filter: str
+    effective_qos: QoS
+    deliver_at: float = 0.0
+    duplicate: bool = False
+    sequence: int = field(default=-1)

@@ -1,0 +1,229 @@
+"""Network models attributing simulated transfer costs to MQTT traffic.
+
+The paper's runtime evaluation (Fig. 8) measures *total processing delay*,
+which is dominated by model-parameter transfer through the broker plus
+aggregation compute.  Because this reproduction runs in a single process, the
+broker does not actually take milliseconds to move bytes; instead every hop is
+charged against a :class:`LinkProfile` (latency + bandwidth + jitter + loss)
+and recorded in a :class:`TrafficLog`.  The simulation layer
+(:mod:`repro.sim`) and the experiment harness read that log to compute the
+delay figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = ["LinkProfile", "NetworkModel", "TrafficRecord", "TrafficLog"]
+
+#: Fixed per-packet protocol overhead in bytes (MQTT fixed header + topic +
+#: packet id).  Small but kept explicit so traffic accounting is meaningful for
+#: the many tiny coordination messages SDFLMQ exchanges.
+PACKET_OVERHEAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Characteristics of the link between one client and its broker.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way propagation latency in seconds.
+    bandwidth_bps:
+        Usable bandwidth in *bytes* per second (not bits).
+    jitter_s:
+        Standard deviation of a Gaussian jitter term added to the latency.
+    loss_rate:
+        Probability that a QoS-0 packet is silently dropped.  QoS 1/2 packets
+        are never lost (the retransmission cost is charged instead).
+    """
+
+    latency_s: float = 0.002
+    bandwidth_bps: float = 12.5e6  # 100 Mbit/s expressed in bytes/s
+    jitter_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.latency_s, "latency_s", strict=False)
+        require_positive(self.bandwidth_bps, "bandwidth_bps")
+        require_positive(self.jitter_s, "jitter_s", strict=False)
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+
+    def transfer_time(self, payload_bytes: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Time in seconds to move ``payload_bytes`` across this link once."""
+        size = payload_bytes + PACKET_OVERHEAD_BYTES
+        delay = self.latency_s + size / self.bandwidth_bps
+        if self.jitter_s > 0.0 and rng is not None:
+            delay += abs(float(rng.normal(0.0, self.jitter_s)))
+        return delay
+
+
+@dataclass
+class TrafficRecord:
+    """One hop of one message through the broker."""
+
+    topic: str
+    sender_id: str
+    receiver_id: str
+    payload_bytes: int
+    qos: int
+    transfer_time_s: float
+    handshake_packets: int
+    timestamp: float
+    broker: str
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus per-packet protocol overhead for all packets on the hop."""
+        return self.payload_bytes + PACKET_OVERHEAD_BYTES * (1 + self.handshake_packets)
+
+
+class TrafficLog:
+    """Accumulates :class:`TrafficRecord` entries and summary statistics.
+
+    The log keeps both the raw records (bounded by ``max_records``) and
+    streaming aggregates so that long experiments do not grow memory without
+    bound while still exposing exact totals.
+    """
+
+    def __init__(self, max_records: int = 200_000) -> None:
+        require_positive(max_records, "max_records")
+        self._records: List[TrafficRecord] = []
+        self._max_records = int(max_records)
+        self.total_messages = 0
+        self.total_payload_bytes = 0
+        self.total_transfer_time_s = 0.0
+        self.per_receiver_bytes: Dict[str, int] = {}
+        self.per_sender_bytes: Dict[str, int] = {}
+        self.per_topic_messages: Dict[str, int] = {}
+
+    def add(self, record: TrafficRecord) -> None:
+        """Record one delivery hop."""
+        if len(self._records) < self._max_records:
+            self._records.append(record)
+        self.total_messages += 1
+        self.total_payload_bytes += record.payload_bytes
+        self.total_transfer_time_s += record.transfer_time_s
+        self.per_receiver_bytes[record.receiver_id] = (
+            self.per_receiver_bytes.get(record.receiver_id, 0) + record.payload_bytes
+        )
+        self.per_sender_bytes[record.sender_id] = (
+            self.per_sender_bytes.get(record.sender_id, 0) + record.payload_bytes
+        )
+        self.per_topic_messages[record.topic] = self.per_topic_messages.get(record.topic, 0) + 1
+
+    def __len__(self) -> int:
+        return self.total_messages
+
+    def __iter__(self) -> Iterator[TrafficRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[TrafficRecord, ...]:
+        """The retained raw records (up to ``max_records``)."""
+        return tuple(self._records)
+
+    def bytes_received_by(self, client_id: str) -> int:
+        """Total payload bytes delivered to ``client_id``."""
+        return self.per_receiver_bytes.get(client_id, 0)
+
+    def bytes_sent_by(self, client_id: str) -> int:
+        """Total payload bytes published by ``client_id``."""
+        return self.per_sender_bytes.get(client_id, 0)
+
+    def messages_on_topic(self, topic: str) -> int:
+        """Number of deliveries on a concrete topic."""
+        return self.per_topic_messages.get(topic, 0)
+
+    def clear(self) -> None:
+        """Drop all records and reset aggregates."""
+        self._records.clear()
+        self.total_messages = 0
+        self.total_payload_bytes = 0
+        self.total_transfer_time_s = 0.0
+        self.per_receiver_bytes.clear()
+        self.per_sender_bytes.clear()
+        self.per_topic_messages.clear()
+
+
+class NetworkModel:
+    """Per-client link registry plus broker processing cost model.
+
+    Parameters
+    ----------
+    default_link:
+        Link profile used for clients without an explicit profile.
+    broker_processing_s_per_byte:
+        Broker CPU cost charged per payload byte routed (models serialization
+        and queueing inside the broker process).
+    broker_processing_s_per_message:
+        Fixed broker CPU cost per routed message.
+    seed:
+        Seed for the jitter / loss random stream.
+    """
+
+    def __init__(
+        self,
+        default_link: Optional[LinkProfile] = None,
+        broker_processing_s_per_byte: float = 2e-9,
+        broker_processing_s_per_message: float = 5e-5,
+        seed: int = 0,
+    ) -> None:
+        self.default_link = default_link or LinkProfile()
+        require_positive(broker_processing_s_per_byte, "broker_processing_s_per_byte", strict=False)
+        require_positive(broker_processing_s_per_message, "broker_processing_s_per_message", strict=False)
+        self.broker_processing_s_per_byte = broker_processing_s_per_byte
+        self.broker_processing_s_per_message = broker_processing_s_per_message
+        self._links: Dict[str, LinkProfile] = {}
+        self._rng = np.random.default_rng(seed)
+
+    def set_link(self, client_id: str, profile: LinkProfile) -> None:
+        """Assign a link profile to a specific client id."""
+        self._links[client_id] = profile
+
+    def link_for(self, client_id: Optional[str]) -> LinkProfile:
+        """Return the link profile for ``client_id`` (default if unknown)."""
+        if client_id is None:
+            return self.default_link
+        return self._links.get(client_id, self.default_link)
+
+    def broker_processing_time(self, payload_bytes: int) -> float:
+        """Broker-side processing time for routing one message."""
+        return (
+            self.broker_processing_s_per_message
+            + payload_bytes * self.broker_processing_s_per_byte
+        )
+
+    def uplink_time(self, sender_id: Optional[str], payload_bytes: int) -> float:
+        """Publisher → broker transfer time."""
+        return self.link_for(sender_id).transfer_time(payload_bytes, self._rng)
+
+    def downlink_time(self, receiver_id: Optional[str], payload_bytes: int) -> float:
+        """Broker → subscriber transfer time."""
+        return self.link_for(receiver_id).transfer_time(payload_bytes, self._rng)
+
+    def end_to_end_time(
+        self, sender_id: Optional[str], receiver_id: Optional[str], payload_bytes: int
+    ) -> float:
+        """Full publisher → broker → subscriber time including broker processing."""
+        return (
+            self.uplink_time(sender_id, payload_bytes)
+            + self.broker_processing_time(payload_bytes)
+            + self.downlink_time(receiver_id, payload_bytes)
+        )
+
+    def should_drop(self, receiver_id: Optional[str], qos: int) -> bool:
+        """Whether a QoS-0 delivery to ``receiver_id`` is lost."""
+        if qos != 0:
+            return False
+        loss = self.link_for(receiver_id).loss_rate
+        if loss <= 0.0:
+            return False
+        return bool(self._rng.random() < loss)

@@ -1,0 +1,121 @@
+"""Thread-backed adapter around the in-process broker.
+
+The deterministic single-threaded pump is what all experiments use, but the
+framework also needs to demonstrate that the same client/coordinator code
+works when callbacks arrive asynchronously (as they do with a real paho
+network loop thread).  :class:`ThreadedBrokerAdapter` spins a daemon thread
+that continuously pumps a set of clients, providing paho's ``loop_start`` /
+``loop_stop`` experience for integration tests and examples.
+
+Thread-safety notes: the underlying broker structures are protected by a
+single re-entrant lock owned by the adapter.  This serializes message routing
+(which is what a single-broker deployment does anyway) while letting client
+application code run concurrently between pumps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, List
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+
+__all__ = ["ThreadedBrokerAdapter"]
+
+
+class ThreadedBrokerAdapter:
+    """Pumps a set of clients from a background thread.
+
+    Parameters
+    ----------
+    broker:
+        The broker whose clients should be pumped.
+    poll_interval_s:
+        Sleep between pump sweeps when no messages were processed.
+    """
+
+    def __init__(self, broker: MQTTBroker, poll_interval_s: float = 0.001) -> None:
+        self.broker = broker
+        self.poll_interval_s = float(poll_interval_s)
+        self._clients: List[MQTTClient] = []
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.sweeps = 0
+        self.messages_pumped = 0
+
+    def register(self, clients: Iterable[MQTTClient] | MQTTClient) -> None:
+        """Add one or more clients to the pump set."""
+        if isinstance(clients, MQTTClient):
+            clients = [clients]
+        with self._lock:
+            for client in clients:
+                if client not in self._clients:
+                    self._clients.append(client)
+
+    def unregister(self, client: MQTTClient) -> None:
+        """Remove a client from the pump set."""
+        with self._lock:
+            if client in self._clients:
+                self._clients.remove(client)
+
+    # ------------------------------------------------------------------ pump
+
+    def pump_once(self) -> int:
+        """Run one sweep over all registered clients; returns messages processed."""
+        processed = 0
+        with self._lock:
+            clients = list(self._clients)
+        for client in clients:
+            with self._lock:
+                processed += client.loop()
+        self.sweeps += 1
+        self.messages_pumped += processed
+        return processed
+
+    def pump_until_idle(self, max_sweeps: int = 100_000) -> int:
+        """Sweep until no client has pending messages; returns total processed."""
+        total = 0
+        for _ in range(max_sweeps):
+            n = self.pump_once()
+            total += n
+            if n == 0:
+                return total
+        raise RuntimeError(f"broker {self.broker.name!r} did not quiesce in {max_sweeps} sweeps")
+
+    # --------------------------------------------------------------- threads
+
+    def loop_start(self) -> None:
+        """Start the background pump thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name=f"pump-{self.broker.name}", daemon=True)
+        self._thread.start()
+
+    def loop_stop(self, timeout: float = 5.0) -> None:
+        """Stop the background pump thread and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is currently alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            processed = self.pump_once()
+            if processed == 0:
+                time.sleep(self.poll_interval_s)
+
+    def __enter__(self) -> "ThreadedBrokerAdapter":
+        self.loop_start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.loop_stop()

@@ -1,0 +1,52 @@
+"""MQTT Fleet Control (MQTTFC) — the RFC layer SDFLMQ is built on.
+
+The paper describes MQTTFC as "a lightweight RFC infrastructure [that] simply
+binds clients' remotely executable functions to MQTT topics" (§III.B.1), with
+a batching mechanism that serializes large payloads, splits them into encoded
+chunks with batch ids, and reassembles them at the receiver, plus zlib
+compression for large payloads (§IV).
+
+This package provides:
+
+* :mod:`repro.mqttfc.serialization` — a pickle-free binary codec for nested
+  Python structures containing numpy arrays (model state dicts travel as raw
+  contiguous buffers, never as pickled objects);
+* :mod:`repro.mqttfc.compression` — optional zlib compression with a
+  self-describing header;
+* :mod:`repro.mqttfc.batching` — chunking of large payloads into fixed-size
+  batches and reassembly with integrity checking;
+* :mod:`repro.mqttfc.rfc` — the :class:`FleetControlEndpoint` that registers
+  remotely callable functions under ``mqttfc/<client>/<function>`` topics and
+  issues calls with correlation ids and optional responses.
+"""
+
+from repro.mqttfc.serialization import encode_payload, decode_payload, payload_size
+from repro.mqttfc.compression import compress_payload, decompress_payload, CompressionConfig
+from repro.mqttfc.batching import BatchEncoder, BatchAssembler, BatchChunk, BatchReassemblyError
+from repro.mqttfc.rfc import (
+    FleetControlEndpoint,
+    PendingCall,
+    RemoteCallError,
+    RemoteFunctionNotFound,
+    call_topic,
+    response_topic,
+)
+
+__all__ = [
+    "encode_payload",
+    "decode_payload",
+    "payload_size",
+    "compress_payload",
+    "decompress_payload",
+    "CompressionConfig",
+    "BatchEncoder",
+    "BatchAssembler",
+    "BatchChunk",
+    "BatchReassemblyError",
+    "FleetControlEndpoint",
+    "PendingCall",
+    "RemoteCallError",
+    "RemoteFunctionNotFound",
+    "call_topic",
+    "response_topic",
+]

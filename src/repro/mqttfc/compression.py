@@ -1,0 +1,76 @@
+"""Optional zlib compression for MQTTFC payloads (paper §IV).
+
+Compressed payloads are self-describing: a 1-byte flag (``0`` = raw, ``1`` =
+zlib) followed by the (possibly compressed) body, so the receiver never needs
+out-of-band knowledge of whether compression was enabled on the sender.
+Compression is skipped when the payload is below a configurable threshold or
+when compressing did not actually shrink it (dense float weights often barely
+compress), in which case the raw flag is used — this matches the paper's
+"for larger payloads, a compression mechanism using zlib" wording.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["CompressionConfig", "compress_payload", "decompress_payload", "CompressionError"]
+
+_FLAG_RAW = b"\x00"
+_FLAG_ZLIB = b"\x01"
+
+
+class CompressionError(ValueError):
+    """Raised when a compressed payload cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Compression policy for an MQTTFC endpoint.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; when False every payload is sent raw (flag 0).
+    level:
+        zlib compression level, 1 (fastest) … 9 (best).
+    min_bytes:
+        Payloads smaller than this are never compressed — the zlib header and
+        CPU cost outweigh any savings for small coordination messages.
+    """
+
+    enabled: bool = True
+    level: int = 6
+    min_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        require_in_range(self.level, "level", 1, 9)
+        require_positive(self.min_bytes, "min_bytes", strict=False)
+
+
+def compress_payload(data: bytes, config: CompressionConfig | None = None) -> bytes:
+    """Wrap ``data`` with the compression flag, compressing if worthwhile."""
+    config = config or CompressionConfig()
+    if not config.enabled or len(data) < config.min_bytes:
+        return _FLAG_RAW + data
+    compressed = zlib.compress(data, config.level)
+    if len(compressed) >= len(data):
+        return _FLAG_RAW + data
+    return _FLAG_ZLIB + compressed
+
+
+def decompress_payload(data: bytes) -> bytes:
+    """Undo :func:`compress_payload`."""
+    if len(data) < 1:
+        raise CompressionError("empty payload cannot carry a compression flag")
+    flag, body = data[:1], data[1:]
+    if flag == _FLAG_RAW:
+        return bytes(body)
+    if flag == _FLAG_ZLIB:
+        try:
+            return zlib.decompress(body)
+        except zlib.error as exc:
+            raise CompressionError(f"corrupt zlib payload: {exc}") from exc
+    raise CompressionError(f"unknown compression flag byte {flag!r}")

@@ -1,0 +1,384 @@
+"""Remote function calls bound to MQTT topics (MQTT Fleet Control).
+
+Every :class:`FleetControlEndpoint` wraps one :class:`repro.mqtt.MQTTClient`
+and exposes two primitives:
+
+* ``register(name, func, topic=None)`` — bind a locally executable function to
+  an MQTT topic (default ``mqttfc/<client_id>/call/<name>``).  Any remote
+  endpoint that publishes a request payload to that topic causes the function
+  to run here.  Several endpoints may register the same *shared* topic, which
+  is exactly how SDFLMQ fans a single "send your stats" call out to a whole
+  role group.
+* ``call(target, name, ...)`` / ``call_topic(topic, ...)`` — publish a request
+  to a remote function and (optionally) receive the return value on this
+  endpoint's response topic, correlated by a unique id.
+
+Requests and responses are encoded with the MQTTFC payload codec
+(:mod:`repro.mqttfc.serialization`), optionally zlib-compressed, then split
+into chunks (:mod:`repro.mqttfc.batching`) so that arbitrarily large model
+state dicts fit under the broker's packet size limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.messages import MQTTMessage, QoS
+from repro.mqttfc.batching import BatchAssembler, BatchEncoder, DEFAULT_CHUNK_BYTES
+from repro.mqttfc.compression import CompressionConfig, compress_payload, decompress_payload
+from repro.mqttfc.serialization import decode_payload, encode_payload
+from repro.utils.identifiers import validate_identifier
+
+__all__ = [
+    "FleetControlEndpoint",
+    "PendingCall",
+    "RemoteCallError",
+    "RemoteFunctionNotFound",
+    "call_topic",
+    "response_topic",
+]
+
+#: Root of the MQTTFC topic namespace.
+MQTTFC_ROOT = "mqttfc"
+
+
+def call_topic(client_id: str, function: str) -> str:
+    """Default topic on which ``client_id`` listens for calls to ``function``."""
+    return f"{MQTTFC_ROOT}/{client_id}/call/{function}"
+
+
+def response_topic(client_id: str) -> str:
+    """Topic on which ``client_id`` receives responses to its outbound calls."""
+    return f"{MQTTFC_ROOT}/{client_id}/response"
+
+
+class RemoteCallError(RuntimeError):
+    """Raised when a remote function reported an error."""
+
+
+class RemoteFunctionNotFound(RemoteCallError):
+    """Raised (remotely) when a request names a function the endpoint lacks."""
+
+
+@dataclass
+class PendingCall:
+    """Handle for an in-flight remote call.
+
+    The call completes when the response arrives and is pumped through the
+    local client's ``loop()``.  ``result()`` raises if the call is still
+    pending or the remote side reported an error.
+    """
+
+    correlation_id: str
+    function: str
+    target_topic: str
+    done: bool = False
+    _result: Any = None
+    _error: Optional[str] = None
+    responder: Optional[str] = None
+
+    def resolve(self, result: Any, responder: Optional[str]) -> None:
+        """Mark the call successful (used by the endpoint)."""
+        self._result = result
+        self.responder = responder
+        self.done = True
+
+    def fail(self, error: str, responder: Optional[str] = None) -> None:
+        """Mark the call failed (used by the endpoint)."""
+        self._error = error
+        self.responder = responder
+        self.done = True
+
+    @property
+    def failed(self) -> bool:
+        """Whether the call completed with an error."""
+        return self.done and self._error is not None
+
+    def result(self) -> Any:
+        """Return the remote return value, raising on error or if still pending."""
+        if not self.done:
+            raise RemoteCallError(
+                f"call {self.correlation_id} to {self.function!r} has not completed; "
+                "pump the message loop before requesting the result"
+            )
+        if self._error is not None:
+            raise RemoteCallError(f"remote function {self.function!r} failed: {self._error}")
+        return self._result
+
+    def result_or(self, default: Any = None) -> Any:
+        """Return the result if available and successful, otherwise ``default``."""
+        if self.done and self._error is None:
+            return self._result
+        return default
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one MQTTFC endpoint."""
+
+    calls_sent: int = 0
+    calls_served: int = 0
+    responses_sent: int = 0
+    responses_received: int = 0
+    request_bytes_sent: int = 0
+    response_bytes_sent: int = 0
+    chunks_sent: int = 0
+    chunks_received: int = 0
+    errors_returned: int = 0
+
+
+class FleetControlEndpoint:
+    """MQTTFC endpoint: function registry + remote call issuing, over one client.
+
+    Parameters
+    ----------
+    client:
+        The MQTT client to communicate through (must be connected before calls
+        are issued or served).
+    chunk_bytes:
+        Maximum data bytes per published chunk.
+    compression:
+        Compression policy applied to every logical payload.
+    qos:
+        QoS used for all MQTTFC traffic (the reproduction defaults to QoS 1,
+        matching SDFLMQ's need for at-least-once delivery of model parameters).
+    """
+
+    def __init__(
+        self,
+        client: MQTTClient,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        compression: Optional[CompressionConfig] = None,
+        qos: QoS | int = QoS.AT_LEAST_ONCE,
+    ) -> None:
+        self.client = client
+        self.client_id = client.client_id
+        self.qos = QoS.coerce(qos)
+        self.compression = compression or CompressionConfig()
+        self._encoder = BatchEncoder(chunk_bytes=chunk_bytes)
+        self._assembler = BatchAssembler()
+        self._functions: Dict[str, Callable[..., Any]] = {}
+        self._topic_functions: Dict[str, str] = {}
+        self._pending: Dict[str, PendingCall] = {}
+        self._call_counter = itertools.count()
+        self.stats = EndpointStats()
+
+        self._response_topic = response_topic(self.client_id)
+        client.message_callback_add(self._response_topic, self._on_raw_message)
+
+    # ---------------------------------------------------------------- set-up
+
+    def start(self) -> None:
+        """Subscribe to the response topic and any topics registered before
+        the client connected (call after the client connects)."""
+        self.client.subscribe(self._response_topic, self.qos)
+        for topic in self._topic_functions:
+            self.client.subscribe(topic, self.qos)
+
+    # -------------------------------------------------------------- registry
+
+    def register(
+        self, name: str, func: Callable[..., Any], topic: Optional[str] = None
+    ) -> str:
+        """Bind ``func`` to an MQTT topic and subscribe to it.
+
+        Returns the topic the function listens on.  Registering the same name
+        again replaces the binding (the old topic is unsubscribed if it is no
+        longer used).
+        """
+        validate_identifier(name, "function name")
+        new_topic = topic or call_topic(self.client_id, name)
+        old_topic = self._find_topic(name)
+        if old_topic is not None and old_topic != new_topic:
+            self.unregister(name)
+        self._functions[name] = func
+        self._topic_functions[new_topic] = name
+        self.client.message_callback_add(new_topic, self._on_raw_message)
+        if self.client.connected:
+            self.client.subscribe(new_topic, self.qos)
+        return new_topic
+
+    def remote_function(self, name: str, topic: Optional[str] = None) -> Callable:
+        """Decorator form of :meth:`register`."""
+
+        def decorator(func: Callable[..., Any]) -> Callable[..., Any]:
+            self.register(name, func, topic)
+            return func
+
+        return decorator
+
+    def unregister(self, name: str) -> bool:
+        """Remove a function binding; returns True if it existed."""
+        if name not in self._functions:
+            return False
+        del self._functions[name]
+        topic = self._find_topic(name)
+        if topic is not None:
+            del self._topic_functions[topic]
+            self.client.message_callback_remove(topic)
+            if self.client.connected:
+                self.client.unsubscribe(topic)
+        return True
+
+    def registered_functions(self) -> List[str]:
+        """Names of all locally registered functions (sorted)."""
+        return sorted(self._functions)
+
+    def _find_topic(self, name: str) -> Optional[str]:
+        for topic, fname in self._topic_functions.items():
+            if fname == name:
+                return topic
+        return None
+
+    # ----------------------------------------------------------------- calls
+
+    def call(
+        self,
+        target_client_id: str,
+        function: str,
+        *args: Any,
+        expect_response: bool = True,
+        **kwargs: Any,
+    ) -> PendingCall:
+        """Call ``function`` on ``target_client_id``'s endpoint."""
+        return self.call_topic(
+            call_topic(target_client_id, function),
+            function,
+            *args,
+            expect_response=expect_response,
+            **kwargs,
+        )
+
+    def call_topic(
+        self,
+        topic: str,
+        function: str,
+        *args: Any,
+        expect_response: bool = True,
+        **kwargs: Any,
+    ) -> PendingCall:
+        """Publish a call request on an explicit topic (shared/group topics)."""
+        # Correlation ids only need to be unique per caller endpoint (responses
+        # come back on this endpoint's own response topic), so a local counter
+        # keeps them deterministic across repeated runs in one process.
+        correlation_id = f"{self.client_id}.c{next(self._call_counter)}"
+        pending = PendingCall(correlation_id=correlation_id, function=function, target_topic=topic)
+        request = {
+            "kind": "request",
+            "function": function,
+            "args": list(args),
+            "kwargs": dict(kwargs),
+            "correlation_id": correlation_id,
+            "reply_to": self._response_topic if expect_response else None,
+            "sender": self.client_id,
+        }
+        if expect_response:
+            self._pending[correlation_id] = pending
+        sent = self._send_logical(topic, request)
+        self.stats.calls_sent += 1
+        self.stats.request_bytes_sent += sent
+        if not expect_response:
+            pending.resolve(None, None)
+        return pending
+
+    def notify(self, target_client_id: str, function: str, *args: Any, **kwargs: Any) -> PendingCall:
+        """Fire-and-forget call (no response expected)."""
+        return self.call(target_client_id, function, *args, expect_response=False, **kwargs)
+
+    def pending_calls(self) -> int:
+        """Number of calls still awaiting a response."""
+        return sum(1 for call in self._pending.values() if not call.done)
+
+    # -------------------------------------------------------------- transport
+
+    def _send_logical(self, topic: str, payload_obj: Any) -> int:
+        """Encode, compress, chunk and publish one logical payload; returns bytes sent."""
+        raw = encode_payload(payload_obj)
+        wrapped = compress_payload(raw, self.compression)
+        total = 0
+        for chunk_bytes in self._encoder.iter_payloads(wrapped):
+            self.client.publish(topic, chunk_bytes, qos=self.qos)
+            self.stats.chunks_sent += 1
+            total += len(chunk_bytes)
+        return total
+
+    def _on_raw_message(self, _client: MQTTClient, message: MQTTMessage) -> None:
+        """Chunk-level handler for both request and response topics."""
+        self.stats.chunks_received += 1
+        sender = message.sender_id or "?"
+        complete = self._assembler.add(sender, message.payload)
+        if complete is None:
+            return
+        payload = decode_payload(decompress_payload(complete))
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise RemoteCallError(f"malformed MQTTFC payload on topic {message.topic!r}")
+        if payload["kind"] == "request":
+            self._serve_request(message.topic, payload)
+        elif payload["kind"] == "response":
+            self._accept_response(payload)
+        else:
+            raise RemoteCallError(f"unknown MQTTFC payload kind {payload['kind']!r}")
+
+    def _serve_request(self, topic: str, request: Dict[str, Any]) -> None:
+        function_name = request.get("function", "")
+        func = self._functions.get(function_name)
+        # Shared-topic registrations may use a local alias; fall back to the
+        # function bound to this topic.
+        if func is None:
+            bound_name = self._topic_functions.get(topic)
+            if bound_name is not None:
+                func = self._functions.get(bound_name)
+        reply_to = request.get("reply_to")
+        correlation_id = request.get("correlation_id", "?")
+        sender = request.get("sender")
+
+        if func is None:
+            self.stats.errors_returned += 1
+            if reply_to:
+                self._send_response(reply_to, correlation_id, error=f"function {function_name!r} not found")
+            return
+
+        try:
+            result = func(*request.get("args", []), **request.get("kwargs", {}))
+        except Exception as exc:  # noqa: BLE001 - errors cross the wire as strings
+            self.stats.errors_returned += 1
+            if reply_to:
+                self._send_response(reply_to, correlation_id, error=f"{type(exc).__name__}: {exc}")
+            return
+        self.stats.calls_served += 1
+        if reply_to:
+            self._send_response(reply_to, correlation_id, result=result)
+        _ = sender  # sender is informational; kept in the payload for tracing
+
+    def _send_response(
+        self,
+        reply_to: str,
+        correlation_id: str,
+        result: Any = None,
+        error: Optional[str] = None,
+    ) -> None:
+        response = {
+            "kind": "response",
+            "correlation_id": correlation_id,
+            "sender": self.client_id,
+            "status": "error" if error is not None else "ok",
+            "result": result,
+            "error": error,
+        }
+        sent = self._send_logical(reply_to, response)
+        self.stats.responses_sent += 1
+        self.stats.response_bytes_sent += sent
+
+    def _accept_response(self, response: Dict[str, Any]) -> None:
+        self.stats.responses_received += 1
+        correlation_id = response.get("correlation_id", "")
+        pending = self._pending.pop(correlation_id, None)
+        if pending is None:
+            return  # response to a call we no longer track (timeout/duplicate)
+        if response.get("status") == "ok":
+            pending.resolve(response.get("result"), response.get("sender"))
+        else:
+            pending.fail(response.get("error") or "unknown remote error", response.get("sender"))

@@ -1,0 +1,158 @@
+"""Pickle-free binary serialization for MQTTFC payloads.
+
+The payloads SDFLMQ moves around are (a) small JSON-like coordination
+structures (session requests, role assignments, client stats) and (b) large
+model state dicts — nested dicts whose leaves are numpy arrays.  The paper
+serializes messages into a "customized separable text format" with JSON for
+stats/topologies; for model parameters a binary path is essential, so the
+codec here keeps the JSON readability for the structure while transporting
+ndarray leaves as raw contiguous buffers:
+
+``MQFC`` magic (4 bytes) | header length (u32 LE) | UTF-8 JSON header |
+buffer 0 | buffer 1 | ...
+
+The JSON header is the original structure with each ndarray leaf replaced by
+``{"__nd__": index, "dtype": ..., "shape": [...]}``; buffer byte lengths are
+listed in the header so decoding can slice the tail without copies
+(``np.frombuffer`` views into the payload).
+
+Supported leaf types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes`` (base64 in the header), numpy scalars and ndarrays, plus arbitrarily
+nested ``dict`` / ``list`` / ``tuple`` containers (tuples decode as lists,
+matching JSON semantics).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, List, Tuple
+
+import numpy as np
+
+__all__ = ["encode_payload", "decode_payload", "payload_size", "SerializationError"]
+
+MAGIC = b"MQFC"
+_HEADER_LEN_BYTES = 4
+
+
+class SerializationError(ValueError):
+    """Raised when an object cannot be encoded or a payload cannot be decoded."""
+
+
+def _encode_node(node: Any, buffers: List[bytes]) -> Any:
+    """Recursively convert ``node`` into a JSON-compatible structure."""
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    if isinstance(node, (np.bool_,)):
+        return bool(node)
+    if isinstance(node, np.integer):
+        return int(node)
+    if isinstance(node, np.floating):
+        return float(node)
+    if isinstance(node, (bytes, bytearray, memoryview)):
+        return {"__bytes__": base64.b64encode(bytes(node)).decode("ascii")}
+    if isinstance(node, np.ndarray):
+        array = np.ascontiguousarray(node)
+        index = len(buffers)
+        buffers.append(array.tobytes())
+        return {
+            "__nd__": index,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "nbytes": int(array.nbytes),
+        }
+    if isinstance(node, dict):
+        encoded = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dict keys must be strings for MQTTFC payloads, got {type(key).__name__}"
+                )
+            if key.startswith("__") and key.endswith("__"):
+                raise SerializationError(f"reserved key name {key!r} in payload")
+            encoded[key] = _encode_node(value, buffers)
+        return encoded
+    if isinstance(node, (list, tuple)):
+        return [_encode_node(item, buffers) for item in node]
+    raise SerializationError(f"unsupported type in MQTTFC payload: {type(node).__name__}")
+
+
+def _decode_node(node: Any, buffers: List[memoryview], copy_arrays: bool) -> Any:
+    if isinstance(node, dict):
+        if "__nd__" in node:
+            index = node["__nd__"]
+            dtype = np.dtype(node["dtype"])
+            shape = tuple(node["shape"])
+            buffer = buffers[index]
+            array = np.frombuffer(buffer, dtype=dtype).reshape(shape)
+            return array.copy() if copy_arrays else array
+        if "__bytes__" in node:
+            return base64.b64decode(node["__bytes__"])
+        return {key: _decode_node(value, buffers, copy_arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_decode_node(item, buffers, copy_arrays) for item in node]
+    return node
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Encode ``obj`` into the MQTTFC binary payload format."""
+    buffers: List[bytes] = []
+    structure = _encode_node(obj, buffers)
+    header = {
+        "v": 1,
+        "structure": structure,
+        "buffer_lengths": [len(b) for b in buffers],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [MAGIC, len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little"), header_bytes]
+    parts.extend(buffers)
+    return b"".join(parts)
+
+
+def decode_payload(payload: bytes | memoryview, copy_arrays: bool = True) -> Any:
+    """Decode a payload produced by :func:`encode_payload`.
+
+    Parameters
+    ----------
+    payload:
+        The raw bytes.
+    copy_arrays:
+        When True (default) ndarray leaves own their memory; when False they
+        are read-only views into ``payload`` (zero-copy, useful for the
+        aggregation hot path where the arrays are immediately reduced).
+    """
+    view = memoryview(payload)
+    if len(view) < len(MAGIC) + _HEADER_LEN_BYTES:
+        raise SerializationError("payload too short to be an MQTTFC payload")
+    if bytes(view[: len(MAGIC)]) != MAGIC:
+        raise SerializationError("payload does not start with MQTTFC magic bytes")
+    offset = len(MAGIC)
+    header_len = int.from_bytes(view[offset : offset + _HEADER_LEN_BYTES], "little")
+    offset += _HEADER_LEN_BYTES
+    if offset + header_len > len(view):
+        raise SerializationError("truncated MQTTFC header")
+    try:
+        header = json.loads(bytes(view[offset : offset + header_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt MQTTFC header: {exc}") from exc
+    offset += header_len
+
+    buffer_lengths = header.get("buffer_lengths", [])
+    buffers: List[memoryview] = []
+    for length in buffer_lengths:
+        end = offset + int(length)
+        if end > len(view):
+            raise SerializationError("truncated MQTTFC buffer section")
+        buffers.append(view[offset:end])
+        offset += int(length)
+    if offset != len(view):
+        raise SerializationError(
+            f"trailing bytes in MQTTFC payload ({len(view) - offset} unexpected bytes)"
+        )
+    return _decode_node(header["structure"], buffers, copy_arrays)
+
+
+def payload_size(obj: Any) -> int:
+    """Return the encoded size of ``obj`` in bytes without keeping the encoding."""
+    return len(encode_payload(obj))

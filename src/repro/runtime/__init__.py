@@ -1,0 +1,33 @@
+"""Deterministic experiment runtime.
+
+The runtime drives a complete SDFLMQ deployment inside one process:
+
+* :class:`MessagePump` — round-robin pump over every MQTT client so the
+  publish/subscribe choreography progresses deterministically;
+* :class:`CriticalPathDelayModel` — converts one round's topology, device
+  fleet and payload sizes into the simulated *total processing delay* the
+  paper reports (Fig. 8), by walking the aggregation tree's critical path;
+* :class:`FLExperiment` — end-to-end orchestration of a federated learning
+  run (dataset partitioning, broker + coordinator + parameter server + client
+  construction, per-round training/upload/aggregation/global-update cycle,
+  metric and delay collection).
+"""
+
+from repro.runtime.pump import MessagePump
+from repro.runtime.delay import CriticalPathDelayModel, RoundDelayBreakdown
+from repro.runtime.experiment import (
+    ExperimentConfig,
+    FLExperiment,
+    ExperimentResult,
+    RoundResult,
+)
+
+__all__ = [
+    "MessagePump",
+    "CriticalPathDelayModel",
+    "RoundDelayBreakdown",
+    "ExperimentConfig",
+    "FLExperiment",
+    "ExperimentResult",
+    "RoundResult",
+]

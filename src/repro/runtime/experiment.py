@@ -1,0 +1,506 @@
+"""End-to-end FL experiment orchestration.
+
+:class:`FLExperiment` wires a complete SDFLMQ deployment together — broker,
+coordinator, parameter server, N clients with their local datasets and device
+profiles — and runs the per-round choreography the paper describes:
+
+1. every client trains locally for ``local_epochs`` epochs,
+2. every client sends its model for aggregation (``send_local``),
+3. the aggregation cascade runs through the hierarchy to the parameter server,
+4. the global update synchronizer pushes the new global model to all clients,
+5. clients report readiness + stats, the coordinator advances the round and
+   re-runs the load balancer.
+
+Alongside the learning metrics, the harness computes the simulated *total
+processing delay* of every round with the critical-path model, which is the
+quantity Fig. 8 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.client import SDFLMQClient
+from repro.core.clustering import ClusteringConfig
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.parameter_server import ParameterServer
+from repro.core.role_optimizers import get_policy
+from repro.core.session import SessionState
+from repro.ml.data import ArrayDataset, DataLoader, train_test_split
+from repro.ml.datasets import SyntheticDigitsConfig, synthetic_digits
+from repro.ml.models import ClassifierModel, make_paper_mlp
+from repro.ml.optim import Adam
+from repro.ml.partition import dirichlet_partition, iid_partition, shard_partition
+from repro.mqtt.bridge import BrokerBridge
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.network import NetworkModel
+from repro.mqttfc.compression import CompressionConfig
+from repro.runtime.delay import CriticalPathDelayModel, RoundDelayBreakdown
+from repro.runtime.pump import MessagePump
+from repro.sim.clock import SimulationClock
+from repro.sim.costs import CostModel
+from repro.sim.device import DeviceFleet
+from repro.sim.events import EventLog
+from repro.sim.resources import ResourceAccountant
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["ExperimentConfig", "RoundResult", "ExperimentResult", "FLExperiment"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one FL run.
+
+    The defaults correspond to the paper's Fig. 7 setup: 5 clients, 1 % of the
+    (synthetic) digit dataset each, a single-hidden-layer MLP, FedAvg, 5 local
+    epochs, 10 FL rounds, 2-layer hierarchical clustering with 30 % of clients
+    acting as aggregators.
+    """
+
+    name: str = "sdflmq"
+    # Federation shape
+    num_clients: int = 5
+    fl_rounds: int = 10
+    local_epochs: int = 5
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    # Dataset
+    dataset_samples: int = 6000
+    test_fraction: float = 0.15
+    input_side: int = 16
+    num_classes: int = 10
+    client_data_fraction: float = 0.01
+    partition: str = "iid"
+    dirichlet_alpha: float = 0.5
+    shards_per_client: int = 2
+    # Topology / coordination
+    clustering_policy: str = "hierarchical"
+    aggregator_fraction: float = 0.30
+    aggregation: str = "fedavg"
+    role_policy: str = "static"
+    rebalance_every_round: bool = True
+    proximal_mu: float = 0.0
+    # Devices
+    device_tier: str = "laptop"
+    heterogeneous_devices: bool = False
+    memory_pressure: float = 0.0
+    device_memory_override_bytes: Optional[int] = None
+    # Transport
+    compression_enabled: bool = True
+    chunk_bytes: int = 256 * 1024
+    num_regions: int = 1
+    # Behaviour
+    train_for_real: bool = True
+    seed: int = 42
+    session_id: str = "session_01"
+    model_name: str = "mlp"
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_clients, "num_clients")
+        require_positive(self.fl_rounds, "fl_rounds")
+        require_positive(self.local_epochs, "local_epochs")
+        require_positive(self.batch_size, "batch_size")
+        require_positive(self.learning_rate, "learning_rate")
+        require_positive(self.dataset_samples, "dataset_samples")
+        require_in_range(self.test_fraction, "test_fraction", 0.0, 0.9, inclusive=False)
+        require_in_range(self.client_data_fraction, "client_data_fraction", 0.0, 1.0, inclusive=False)
+        if self.partition not in ("iid", "dirichlet", "shard"):
+            raise ValueError(f"unknown partition scheme {self.partition!r}")
+        if self.clustering_policy not in ("hierarchical", "central"):
+            raise ValueError(f"unknown clustering policy {self.clustering_policy!r}")
+        require_in_range(self.memory_pressure, "memory_pressure", 0.0, 1.0)
+        require_positive(self.num_regions, "num_regions")
+        require_positive(self.proximal_mu, "proximal_mu", strict=False)
+        if self.device_memory_override_bytes is not None:
+            require_positive(self.device_memory_override_bytes, "device_memory_override_bytes")
+
+
+@dataclass
+class RoundResult:
+    """Metrics for one completed FL round."""
+
+    round_index: int
+    test_accuracy: float
+    test_loss: float
+    mean_train_loss: float
+    delay: RoundDelayBreakdown
+    traffic_bytes: int
+    messages_routed: int
+    roles_changed: int
+    overflow_events: int
+    aggregator_ids: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict row (used by the benchmark tables)."""
+        row = {
+            "round": self.round_index,
+            "test_accuracy": self.test_accuracy,
+            "test_loss": self.test_loss,
+            "mean_train_loss": self.mean_train_loss,
+            "round_delay_s": self.delay.total_s,
+            "traffic_bytes": self.traffic_bytes,
+            "messages_routed": self.messages_routed,
+            "roles_changed": self.roles_changed,
+            "overflow_events": self.overflow_events,
+        }
+        return row
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate outcome of one FL experiment."""
+
+    config: ExperimentConfig
+    rounds: List[RoundResult]
+    final_accuracy: float
+    total_delay_s: float
+    total_traffic_bytes: int
+    total_messages: int
+    peak_aggregator_memory_bytes: int
+    role_changes_total: int
+
+    @property
+    def accuracies(self) -> List[float]:
+        """Per-round test accuracies in order."""
+        return [r.test_accuracy for r in self.rounds]
+
+    @property
+    def round_delays(self) -> List[float]:
+        """Per-round simulated processing delays in seconds."""
+        return [r.delay.total_s for r in self.rounds]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Row-per-round table representation."""
+        return [r.as_dict() for r in self.rounds]
+
+
+class FLExperiment:
+    """Builds and runs one complete SDFLMQ federated-learning experiment."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        self.seeds = SeedSequenceFactory(self.config.seed)
+        self._built = False
+
+        # Populated by setup()
+        self.clock: SimulationClock
+        self.broker: MQTTBroker
+        self.fleet: DeviceFleet
+        self.network: NetworkModel
+        self.resources: ResourceAccountant
+        self.event_log: EventLog
+        self.coordinator: Coordinator
+        self.parameter_server: ParameterServer
+        self.pump: MessagePump
+        self.clients: List[SDFLMQClient] = []
+        self.client_models: Dict[str, ClassifierModel] = {}
+        self.client_datasets: Dict[str, ArrayDataset] = {}
+        self.client_optimizers: Dict[str, Adam] = {}
+        self.test_set: ArrayDataset
+        self.delay_model: CriticalPathDelayModel
+        self.cost_model: CostModel = cost_model or CostModel()
+
+    # -------------------------------------------------------------- datasets
+
+    def _build_datasets(self) -> None:
+        config = self.config
+        dataset = synthetic_digits(
+            SyntheticDigitsConfig(
+                num_samples=config.dataset_samples,
+                num_classes=config.num_classes,
+                side=config.input_side,
+                seed=self.seeds.seed("dataset"),
+            )
+        )
+        train_set, test_set = train_test_split(
+            dataset, test_fraction=config.test_fraction, rng=self.seeds.generator("split")
+        )
+        self.test_set = test_set
+
+        per_client = max(1, int(round(len(train_set) * config.client_data_fraction)))
+        needed = min(len(train_set), per_client * config.num_clients)
+        selection = self.seeds.generator("selection").choice(len(train_set), size=needed, replace=False)
+        pool = train_set.subset(selection)
+
+        rng = self.seeds.generator("partition")
+        if config.partition == "iid":
+            parts = iid_partition(pool, config.num_clients, rng=rng)
+        elif config.partition == "dirichlet":
+            parts = dirichlet_partition(pool, config.num_clients, alpha=config.dirichlet_alpha, rng=rng)
+        else:
+            parts = shard_partition(pool, config.num_clients, shards_per_client=config.shards_per_client, rng=rng)
+
+        for index, part in enumerate(parts):
+            client_id = self._client_id(index)
+            self.client_datasets[client_id] = pool.subset(part)
+
+    def _client_id(self, index: int) -> str:
+        return f"client_{index:03d}"
+
+    # ----------------------------------------------------------------- setup
+
+    def setup(self) -> "FLExperiment":
+        """Construct the full deployment and establish the FL session."""
+        if self._built:
+            return self
+        config = self.config
+        self._build_datasets()
+
+        self.clock = SimulationClock()
+        self.event_log = EventLog()
+        self.resources = ResourceAccountant()
+
+        if config.heterogeneous_devices:
+            self.fleet = DeviceFleet.heterogeneous(
+                config.num_clients, prefix="client", seed=self.seeds.seed("fleet")
+            )
+        else:
+            self.fleet = DeviceFleet.homogeneous(
+                config.num_clients, tier=config.device_tier, prefix="client", seed=self.seeds.seed("fleet")
+            )
+
+        if config.device_memory_override_bytes is not None:
+            for client_id in self.fleet.device_ids:
+                profile = self.fleet.profile(client_id)
+                self.fleet.scale_memory(
+                    client_id, config.device_memory_override_bytes / profile.memory_bytes
+                )
+
+        self.network = NetworkModel(seed=self.seeds.seed("network"))
+        for client_id in self.fleet.device_ids:
+            profile = self.fleet.profile(client_id)
+            self.network.set_link(client_id, profile.link_profile())
+            self.resources.register_device(client_id, profile.memory_bytes)
+
+        # One broker per region, bridged in a chain (paper §III.F).  The
+        # coordinator and parameter server live on region 0's broker; clients
+        # are spread round-robin across the regional brokers.
+        self.brokers = [
+            MQTTBroker(f"edge-broker-{region}", network=self.network, clock=self.clock)
+            for region in range(config.num_regions)
+        ]
+        self.bridges = [
+            BrokerBridge(self.brokers[i], self.brokers[i + 1])
+            for i in range(len(self.brokers) - 1)
+        ]
+        self.broker = self.brokers[0]
+        self.pump = MessagePump()
+
+        coordinator_config = CoordinatorConfig(
+            clustering=ClusteringConfig(
+                policy=config.clustering_policy,
+                aggregator_fraction=config.aggregator_fraction,
+            ),
+            auto_start_when_full=True,
+            rebalance_every_round=config.rebalance_every_round,
+        )
+        self.coordinator = Coordinator(
+            self.broker,
+            config=coordinator_config,
+            policy=get_policy(config.role_policy),
+            event_log=self.event_log,
+        )
+        self.parameter_server = ParameterServer(self.broker, event_log=self.event_log)
+        self.pump.register(self.coordinator.mqtt)
+        self.pump.register(self.parameter_server.mqtt)
+
+        compression = CompressionConfig(enabled=config.compression_enabled)
+        for index in range(config.num_clients):
+            client_id = self._client_id(index)
+            client = SDFLMQClient(
+                client_id,
+                broker=self.brokers[index % len(self.brokers)],
+                preferred_role="trainer_aggregator",
+                aggregation=config.aggregation,
+                compression=compression,
+                chunk_bytes=config.chunk_bytes,
+                stats_provider=(lambda cid=client_id: self.fleet.stats(cid)),
+                resources=self.resources,
+                pump=self.pump.run_until_idle,
+            )
+            self.clients.append(client)
+            self.pump.register(client.mqtt)
+
+            network = make_paper_mlp(
+                input_dim=config.input_side * config.input_side,
+                num_classes=config.num_classes,
+                seed=config.seed,
+            )
+            model = ClassifierModel(network, name=config.model_name)
+            self.client_models[client_id] = model
+            self.client_optimizers[client_id] = Adam(
+                network, lr=config.learning_rate, proximal_mu=config.proximal_mu
+            )
+
+        # Establish the session: the first client creates it, the rest join.
+        creator = self.clients[0]
+        creator.create_fl_session(
+            session_id=config.session_id,
+            fl_rounds=config.fl_rounds,
+            model_name=config.model_name,
+            session_capacity_min=config.num_clients,
+            session_capacity_max=config.num_clients,
+            aggregation=config.aggregation,
+        )
+        for client in self.clients[1:]:
+            client.join_fl_session(
+                session_id=config.session_id,
+                fl_rounds=config.fl_rounds,
+                model_name=config.model_name,
+                num_samples=len(self.client_datasets[client.client_id]),
+            )
+        self.pump.run_until_idle()
+
+        session = self.coordinator.session(config.session_id)
+        if session.state != SessionState.RUNNING:
+            raise RuntimeError(
+                f"session failed to start: state={session.state.value!r}, "
+                f"contributors={len(session.contributors)}/{config.num_clients}"
+            )
+
+        for client in self.clients:
+            client.set_model(
+                config.session_id,
+                self.client_models[client.client_id],
+                num_samples=len(self.client_datasets[client.client_id]),
+            )
+
+        self.delay_model = CriticalPathDelayModel(self.fleet, self.cost_model, self.network)
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------- run
+
+    def _train_client(self, client_id: str) -> float:
+        """Run the local training phase for one client; returns the mean loss."""
+        config = self.config
+        model = self.client_models[client_id]
+        dataset = self.client_datasets[client_id]
+        if not config.train_for_real:
+            # Delay-focused experiments skip the numerics but keep the exact
+            # messaging behaviour; a tiny deterministic perturbation keeps the
+            # parameter payloads changing round to round.
+            for value in model.network.parameters().values():
+                value += 1e-6
+            return 0.0
+        optimizer = self.client_optimizers[client_id]
+        if config.proximal_mu > 0.0:
+            # FedProx: anchor local training to the freshly synchronized global model.
+            optimizer.set_proximal_reference(model.state_dict())
+        loader = DataLoader(
+            dataset,
+            batch_size=config.batch_size,
+            shuffle=True,
+            rng=self.seeds.generator("loader", client_id),
+        )
+        losses = [model.train_epoch(loader, optimizer) for _ in range(config.local_epochs)]
+        return float(np.mean(losses))
+
+    def run_round(self, round_index: int) -> RoundResult:
+        """Execute one complete FL round and return its metrics."""
+        config = self.config
+        session_id = config.session_id
+        session = self.coordinator.session(session_id)
+        topology = session.topology
+        if topology is None:
+            raise RuntimeError("session has no topology; was setup() called?")
+
+        if config.memory_pressure > 0:
+            self.fleet.drift(round_index, memory_pressure=config.memory_pressure)
+
+        traffic_before = self._total_traffic_bytes()
+        messages_before = self._total_messages_published()
+        overflow_before = self.resources.overflow_count()
+        roles_before = self.coordinator.role_messages_sent
+
+        train_losses: Dict[str, float] = {}
+        for client in self.clients:
+            train_losses[client.client_id] = self._train_client(client.client_id)
+            client.send_local(session_id)
+        self.pump.run_until_idle()
+
+        for client in self.clients:
+            client.wait_global_update(session_id)
+
+        # Evaluate the freshly synchronized global model on the held-out set.
+        reference = self.client_models[self.clients[0].client_id]
+        evaluation = reference.evaluate(self.test_set)
+
+        payload_bytes = self.clients[0].models.record(session_id).payload_nbytes
+        num_parameters = reference.num_parameters
+        available_memory = {
+            cid: self.fleet.stats(cid).available_memory_bytes for cid in self.fleet.device_ids
+        }
+        num_samples = {cid: len(ds) for cid, ds in self.client_datasets.items()}
+        clients_informed = (
+            len(topology.client_ids) if round_index == 0 else self._last_roles_changed
+        )
+        delay = self.delay_model.round_delay(
+            topology=topology,
+            round_index=round_index,
+            num_samples=num_samples,
+            payload_bytes=payload_bytes,
+            num_parameters=num_parameters,
+            epochs=config.local_epochs,
+            available_memory=available_memory,
+            clients_informed=clients_informed,
+        )
+        self.clock.advance(delay.total_s)
+
+        mean_loss = float(np.mean(list(train_losses.values()))) if train_losses else 0.0
+        for client in self.clients:
+            client.report_stats(session_id, train_loss=train_losses.get(client.client_id, 0.0))
+        self.pump.run_until_idle()
+        self._last_roles_changed = self.coordinator.role_messages_sent - roles_before
+
+        return RoundResult(
+            round_index=round_index,
+            test_accuracy=float(evaluation["accuracy"]),
+            test_loss=float(evaluation["loss"]),
+            mean_train_loss=mean_loss,
+            delay=delay,
+            traffic_bytes=self._total_traffic_bytes() - traffic_before,
+            messages_routed=self._total_messages_published() - messages_before,
+            roles_changed=self._last_roles_changed,
+            overflow_events=self.resources.overflow_count() - overflow_before,
+            aggregator_ids=list(topology.aggregator_ids),
+        )
+
+    _last_roles_changed: int = 0
+
+    def _total_traffic_bytes(self) -> int:
+        """Payload bytes routed across all regional brokers."""
+        return int(sum(b.traffic.total_payload_bytes for b in self.brokers))
+
+    def _total_messages_published(self) -> int:
+        """Messages published across all regional brokers (bridged copies included)."""
+        return int(sum(b.stats.messages_published for b in self.brokers))
+
+    def run(self) -> ExperimentResult:
+        """Run the full experiment (setup + all rounds) and return the results."""
+        self.setup()
+        rounds: List[RoundResult] = []
+        for round_index in range(self.config.fl_rounds):
+            rounds.append(self.run_round(round_index))
+
+        final_accuracy = rounds[-1].test_accuracy if rounds else 0.0
+        return ExperimentResult(
+            config=self.config,
+            rounds=rounds,
+            final_accuracy=final_accuracy,
+            total_delay_s=float(sum(r.delay.total_s for r in rounds)),
+            total_traffic_bytes=int(sum(r.traffic_bytes for r in rounds)),
+            total_messages=int(sum(r.messages_routed for r in rounds)),
+            peak_aggregator_memory_bytes=int(
+                max(self.resources.high_water_by_device().values(), default=0)
+            ),
+            role_changes_total=int(sum(r.roles_changed for r in rounds)),
+        )

@@ -1,0 +1,85 @@
+"""Deterministic message pump.
+
+With the in-process broker, published messages sit in each subscriber's inbox
+until that subscriber's ``loop()`` runs.  The pump sweeps all registered MQTT
+clients in a fixed order until no client has pending messages, which makes an
+entire multi-client choreography (session creation → clustering → uploads →
+hierarchical aggregation → global update) complete deterministically from a
+single ``pump.run_until_idle()`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.mqtt.client import MQTTClient
+
+__all__ = ["MessagePump"]
+
+
+class MessagePump:
+    """Round-robin pump over a set of MQTT clients."""
+
+    def __init__(self, clients: Optional[Iterable[MQTTClient]] = None, max_sweeps: int = 100_000) -> None:
+        self._clients: List[MQTTClient] = list(clients) if clients else []
+        self.max_sweeps = int(max_sweeps)
+        self.total_messages = 0
+        self.total_sweeps = 0
+
+    def register(self, client: MQTTClient) -> None:
+        """Add a client to the pump set (idempotent)."""
+        if client not in self._clients:
+            self._clients.append(client)
+
+    def unregister(self, client: MQTTClient) -> None:
+        """Remove a client from the pump set."""
+        if client in self._clients:
+            self._clients.remove(client)
+
+    @property
+    def clients(self) -> List[MQTTClient]:
+        """The registered clients, in pump order."""
+        return list(self._clients)
+
+    def sweep(self) -> int:
+        """Process every client's inbox once; returns messages handled."""
+        processed = 0
+        for client in self._clients:
+            processed += client.loop()
+        self.total_sweeps += 1
+        self.total_messages += processed
+        return processed
+
+    def run_until_idle(self) -> int:
+        """Sweep until no client has pending messages; returns total handled.
+
+        Raises ``RuntimeError`` if the system does not quiesce within
+        ``max_sweeps`` sweeps (which would indicate a message loop).
+        """
+        total = 0
+        for _ in range(self.max_sweeps):
+            processed = self.sweep()
+            total += processed
+            if processed == 0:
+                return total
+        raise RuntimeError(f"message pump did not quiesce within {self.max_sweeps} sweeps")
+
+    def run_until(self, predicate: Callable[[], bool], max_sweeps: Optional[int] = None) -> bool:
+        """Sweep until ``predicate()`` holds or the system quiesces.
+
+        Returns True if the predicate was satisfied.
+        """
+        limit = max_sweeps if max_sweeps is not None else self.max_sweeps
+        if predicate():
+            return True
+        for _ in range(limit):
+            processed = self.sweep()
+            if predicate():
+                return True
+            if processed == 0:
+                return predicate()
+        return predicate()
+
+    def __call__(self) -> int:
+        """Alias for :meth:`run_until_idle` so the pump can be passed as a callable."""
+        return self.run_until_idle()

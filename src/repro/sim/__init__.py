@@ -1,0 +1,36 @@
+"""Device, time and resource simulation.
+
+The paper's evaluation runs on real machines and reads system stats through
+``psutil`` / ``tracemalloc``.  This package provides the simulated equivalent:
+
+* :class:`SimulationClock` — explicit logical time advanced by cost models;
+* :class:`DeviceProfile` / :class:`DeviceFleet` — heterogeneous edge-device
+  characteristics (compute speed, memory capacity, bandwidth) and their
+  round-to-round drift;
+* :class:`CostModel` — converts work (training samples, parameters received,
+  aggregation fan-in) into seconds of simulated processing time, including the
+  memory-overflow penalty the paper's motivation section describes;
+* :class:`ResourceAccountant` — per-device memory accounting with high-water
+  marks (the ``tracemalloc`` substitute);
+* :class:`EventLog` — a timestamped record of everything that happened in an
+  experiment, used by the harness to compute per-round and total delays.
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.device import DeviceProfile, DeviceStats, DeviceFleet, DEVICE_TIERS
+from repro.sim.costs import CostModel
+from repro.sim.resources import ResourceAccountant, MemoryOverflowEvent
+from repro.sim.events import EventLog, SimEvent
+
+__all__ = [
+    "SimulationClock",
+    "DeviceProfile",
+    "DeviceStats",
+    "DeviceFleet",
+    "DEVICE_TIERS",
+    "CostModel",
+    "ResourceAccountant",
+    "MemoryOverflowEvent",
+    "EventLog",
+    "SimEvent",
+]

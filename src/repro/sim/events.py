@@ -1,0 +1,131 @@
+"""Timestamped event log for simulated experiments.
+
+Every meaningful action in an FL run — local training finished, model
+uploaded, aggregation performed, role reassigned, global model published — is
+recorded here with its simulated timestamp and duration.  The experiment
+harness derives the paper's delay metrics (total processing delay per round
+and per run) by reducing over this log, which also makes the benchmarks easy
+to debug: the log *is* the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["SimEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One event in the simulation trace."""
+
+    timestamp: float
+    kind: str
+    actor: str
+    duration_s: float = 0.0
+    round_index: int = -1
+    session_id: str = ""
+    detail: str = ""
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp at which the event's activity completed."""
+        return self.timestamp + self.duration_s
+
+
+class EventLog:
+    """Append-only list of :class:`SimEvent` with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[SimEvent] = []
+
+    def record(
+        self,
+        timestamp: float,
+        kind: str,
+        actor: str,
+        duration_s: float = 0.0,
+        round_index: int = -1,
+        session_id: str = "",
+        detail: str = "",
+    ) -> SimEvent:
+        """Append an event and return it."""
+        if duration_s < 0:
+            raise ValueError(f"event duration must be non-negative, got {duration_s}")
+        event = SimEvent(
+            timestamp=float(timestamp),
+            kind=kind,
+            actor=actor,
+            duration_s=float(duration_s),
+            round_index=int(round_index),
+            session_id=session_id,
+            detail=detail,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[SimEvent]:
+        """All events in insertion order (copy)."""
+        return list(self._events)
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        actor: Optional[str] = None,
+        round_index: Optional[int] = None,
+        session_id: Optional[str] = None,
+        predicate: Optional[Callable[[SimEvent], bool]] = None,
+    ) -> List[SimEvent]:
+        """Return events matching all the provided criteria."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if actor is not None and event.actor != actor:
+                continue
+            if round_index is not None and event.round_index != round_index:
+                continue
+            if session_id is not None and event.session_id != session_id:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of event kinds."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def total_duration(self, kind: Optional[str] = None, actor: Optional[str] = None) -> float:
+        """Sum of durations over the matching events."""
+        return sum(e.duration_s for e in self.filter(kind=kind, actor=actor))
+
+    def round_span(self, round_index: int) -> float:
+        """Wall span (max end time − min start time) of a round's events."""
+        events = self.filter(round_index=round_index)
+        if not events:
+            return 0.0
+        start = min(e.timestamp for e in events)
+        end = max(e.end_time for e in events)
+        return end - start
+
+    def last_timestamp(self) -> float:
+        """End time of the latest-finishing event (0.0 when empty)."""
+        if not self._events:
+            return 0.0
+        return max(e.end_time for e in self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

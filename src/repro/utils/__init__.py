@@ -1,0 +1,34 @@
+"""Shared low-level utilities used across the SDFLMQ reproduction.
+
+The helpers here are intentionally dependency-free (numpy + stdlib only) so
+that every other subpackage (``repro.mqtt``, ``repro.ml``, ``repro.core``,
+``repro.sim``) can import them without creating cycles.
+"""
+
+from repro.utils.rng import SeedSequenceFactory, derive_seed, rng_from_seed
+from repro.utils.bytesize import human_bytes, parse_bytes
+from repro.utils.timing import Stopwatch, format_duration
+from repro.utils.identifiers import make_client_id, make_correlation_id, make_session_id
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_type,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_seed",
+    "rng_from_seed",
+    "human_bytes",
+    "parse_bytes",
+    "Stopwatch",
+    "format_duration",
+    "make_client_id",
+    "make_correlation_id",
+    "make_session_id",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_type",
+]

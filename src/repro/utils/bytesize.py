@@ -1,0 +1,79 @@
+"""Byte-size formatting and parsing helpers.
+
+Used by the simulation layer (device memory / bandwidth configuration), the
+MQTTFC batching layer (chunk sizes) and experiment reports.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["human_bytes", "parse_bytes"]
+
+_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+_PARSE_RE = re.compile(
+    r"^\s*(?P<value>[0-9]*\.?[0-9]+)\s*(?P<unit>[KMGT]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1000,
+    "KIB": 1024,
+    "M": 1024**2,
+    "MB": 1000**2,
+    "MIB": 1024**2,
+    "G": 1024**3,
+    "GB": 1000**3,
+    "GIB": 1024**3,
+    "T": 1024**4,
+    "TB": 1000**4,
+    "TIB": 1024**4,
+}
+
+
+def human_bytes(num_bytes: float, precision: int = 2) -> str:
+    """Format a byte count using binary units.
+
+    >>> human_bytes(2048)
+    '2.00 KiB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for unit in _UNITS:
+        if value < 1024.0 or unit == _UNITS[-1]:
+            return f"{value:.{precision}f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a human-readable byte size into an integer byte count.
+
+    Accepts plain numbers, binary units (``KiB``/``MiB``/``GiB``) and decimal
+    units (``KB``/``MB``/``GB``).  Bare suffixes ``K``/``M``/``G`` are treated
+    as binary, matching common MQTT broker configuration conventions.
+
+    >>> parse_bytes("4 MiB")
+    4194304
+    >>> parse_bytes(512)
+    512
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"byte count must be non-negative, got {text}")
+        return int(text)
+    match = _PARSE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    value = float(match.group("value"))
+    unit = match.group("unit").upper()
+    if unit.endswith("B") and unit not in _UNIT_FACTORS:
+        unit = unit[:-1]
+    factor = _UNIT_FACTORS.get(unit)
+    if factor is None:
+        raise ValueError(f"unknown byte unit in {text!r}")
+    return int(round(value * factor))

@@ -1,0 +1,64 @@
+"""Identifier helpers for clients, sessions and request correlation.
+
+SDFLMQ addresses clients, sessions and RFC requests through MQTT topic
+segments, so identifiers must never contain the MQTT topic separators
+(``/``, ``+``, ``#``) nor whitespace.  The helpers here generate compliant
+identifiers and validate user-supplied ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+
+__all__ = [
+    "make_client_id",
+    "make_session_id",
+    "make_correlation_id",
+    "is_valid_identifier",
+    "validate_identifier",
+]
+
+_VALID_RE = re.compile(r"^[A-Za-z0-9_.:\-]+$")
+
+_counter = itertools.count()
+_counter_lock = threading.Lock()
+
+
+def _next_count() -> int:
+    with _counter_lock:
+        return next(_counter)
+
+
+def is_valid_identifier(identifier: str) -> bool:
+    """Return ``True`` if ``identifier`` is safe to embed in an MQTT topic."""
+    return bool(identifier) and _VALID_RE.match(identifier) is not None
+
+
+def validate_identifier(identifier: str, kind: str = "identifier") -> str:
+    """Validate and return ``identifier``; raise ``ValueError`` otherwise."""
+    if not is_valid_identifier(identifier):
+        raise ValueError(
+            f"invalid {kind} {identifier!r}: must be non-empty and contain only "
+            "letters, digits, '_', '-', '.', ':'"
+        )
+    return identifier
+
+
+def make_client_id(prefix: str = "client") -> str:
+    """Generate a unique, topic-safe client identifier."""
+    validate_identifier(prefix, "client id prefix")
+    return f"{prefix}_{_next_count():06d}"
+
+
+def make_session_id(prefix: str = "session") -> str:
+    """Generate a unique, topic-safe FL session identifier."""
+    validate_identifier(prefix, "session id prefix")
+    return f"{prefix}_{_next_count():06d}"
+
+
+def make_correlation_id(prefix: str = "req") -> str:
+    """Generate a unique correlation id for an MQTTFC request/response pair."""
+    validate_identifier(prefix, "correlation id prefix")
+    return f"{prefix}_{_next_count():08d}"

@@ -1,0 +1,53 @@
+"""Argument-validation helpers shared across the code base.
+
+These exist so that public API entry points fail fast with clear messages
+instead of deep numpy broadcasting errors later on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Type
+
+__all__ = ["require", "require_positive", "require_in_range", "require_type", "require_one_of"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Require that ``value`` is positive (strictly by default)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_in_range(value: float, name: str, low: float, high: float, *, inclusive: bool = True) -> float:
+    """Require ``low <= value <= high`` (or strict inequality if not inclusive)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
+    return value
+
+
+def require_type(value: Any, name: str, *types: Type) -> Any:
+    """Require ``value`` to be an instance of one of ``types``."""
+    if not isinstance(value, types):
+        names = ", ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")
+    return value
+
+
+def require_one_of(value: Any, name: str, options: Iterable[Any]) -> Any:
+    """Require ``value`` to be one of the allowed ``options``."""
+    options = list(options)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

@@ -1,0 +1,183 @@
+"""Tests for aggregation strategies, including hierarchical composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    AggregationError,
+    CoordinateMedian,
+    FedAvg,
+    FedAvgMomentum,
+    ModelContribution,
+    TrimmedMean,
+    UniformAverage,
+    available_aggregators,
+    get_aggregator,
+)
+from repro.ml.state import state_dicts_allclose
+
+
+def _state(value, shape=(3, 2)):
+    return {"w": np.full(shape, float(value)), "b": np.full(shape[1], float(value) / 2)}
+
+
+def _random_state(rng, shapes=(("w", (4, 3)), ("b", (3,)))):
+    return {name: rng.normal(size=shape) for name, shape in shapes}
+
+
+class TestModelContribution:
+    def test_positive_weight_required(self):
+        with pytest.raises(AggregationError):
+            ModelContribution(_state(1), weight=0)
+
+    def test_repr_contains_sender(self):
+        assert "client_7" in repr(ModelContribution(_state(1), sender_id="client_7"))
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_aggregators()) == {"fedavg", "mean", "median", "trimmed_mean", "fedavgm"}
+
+    def test_get_by_name_case_insensitive(self):
+        assert isinstance(get_aggregator("FedAvg"), FedAvg)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AggregationError):
+            get_aggregator("blockchain")
+
+    def test_kwargs_forwarded(self):
+        strategy = get_aggregator("trimmed_mean", trim_ratio=0.25)
+        assert strategy.trim_ratio == 0.25
+
+
+class TestFedAvg:
+    def test_equal_weights_is_plain_mean(self):
+        result = FedAvg().aggregate([ModelContribution(_state(0)), ModelContribution(_state(2))])
+        assert state_dicts_allclose(result, _state(1))
+
+    def test_weighting_by_samples(self):
+        result = FedAvg().aggregate(
+            [ModelContribution(_state(0), weight=1), ModelContribution(_state(4), weight=3)]
+        )
+        assert state_dicts_allclose(result, _state(3))
+
+    def test_single_contribution_identity(self):
+        state = _random_state(np.random.default_rng(0))
+        result = FedAvg().aggregate([ModelContribution(state, weight=7)])
+        assert state_dicts_allclose(result, state)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            FedAvg().aggregate([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AggregationError):
+            FedAvg().aggregate(
+                [ModelContribution(_state(1)), ModelContribution({"w": np.zeros((2, 2)), "b": np.zeros(2)})]
+            )
+
+    def test_matches_manual_weighted_mean(self):
+        rng = np.random.default_rng(3)
+        states = [_random_state(rng) for _ in range(5)]
+        weights = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = FedAvg().aggregate(
+            [ModelContribution(s, weight=w) for s, w in zip(states, weights)]
+        )
+        expected_w = np.average([s["w"] for s in states], axis=0, weights=weights)
+        np.testing.assert_allclose(result["w"], expected_w)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10_000))
+    def test_hierarchical_composition_is_exact(self, num_clients, seed):
+        """FedAvg of FedAvgs (weights summed) equals flat FedAvg — the invariant
+        that lets SDFLMQ split aggregation across a hierarchy."""
+        rng = np.random.default_rng(seed)
+        contributions = [
+            ModelContribution(_random_state(rng), weight=float(rng.integers(1, 50)))
+            for _ in range(num_clients)
+        ]
+        flat = FedAvg().aggregate(contributions)
+
+        split = rng.integers(1, num_clients) if num_clients > 1 else 1
+        group_a, group_b = contributions[:split], contributions[split:]
+        partials = []
+        for group in (group_a, group_b):
+            if not group:
+                continue
+            partials.append(
+                ModelContribution(
+                    FedAvg().aggregate(group), weight=sum(c.weight for c in group)
+                )
+            )
+        hierarchical = FedAvg().aggregate(partials)
+        for key in flat:
+            np.testing.assert_allclose(hierarchical[key], flat[key], rtol=1e-10, atol=1e-12)
+
+    def test_result_dtype_float64(self):
+        result = FedAvg().aggregate([ModelContribution({"w": np.zeros((2, 2), dtype=np.float32)})])
+        assert result["w"].dtype == np.float64
+
+
+class TestRobustStrategies:
+    def test_uniform_average_ignores_weights(self):
+        result = UniformAverage().aggregate(
+            [ModelContribution(_state(0), weight=100), ModelContribution(_state(2), weight=1)]
+        )
+        assert state_dicts_allclose(result, _state(1))
+
+    def test_median_resists_outlier(self):
+        contributions = [ModelContribution(_state(1)) for _ in range(4)]
+        contributions.append(ModelContribution(_state(1e6)))  # poisoned update
+        result = CoordinateMedian().aggregate(contributions)
+        assert state_dicts_allclose(result, _state(1))
+
+    def test_mean_is_pulled_by_outlier(self):
+        contributions = [ModelContribution(_state(1)) for _ in range(4)]
+        contributions.append(ModelContribution(_state(1e6)))
+        result = UniformAverage().aggregate(contributions)
+        assert result["w"].max() > 1000
+
+    def test_trimmed_mean_drops_extremes(self):
+        contributions = [ModelContribution(_state(v)) for v in (1, 1, 1, 1, 1, 1, 1, 1, -1e6, 1e6)]
+        result = TrimmedMean(trim_ratio=0.1).aggregate(contributions)
+        assert state_dicts_allclose(result, _state(1))
+
+    def test_trimmed_mean_small_group_falls_back_to_mean(self):
+        result = TrimmedMean(trim_ratio=0.4).aggregate(
+            [ModelContribution(_state(0)), ModelContribution(_state(2))]
+        )
+        assert state_dicts_allclose(result, _state(1))
+
+    def test_trimmed_mean_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(trim_ratio=0.5)
+
+
+class TestFedAvgMomentum:
+    def test_first_round_is_plain_average(self):
+        strategy = FedAvgMomentum(momentum=0.9)
+        result = strategy.aggregate([ModelContribution(_state(2)), ModelContribution(_state(4))])
+        assert state_dicts_allclose(result, _state(3))
+
+    def test_momentum_accelerates_consistent_direction(self):
+        strategy = FedAvgMomentum(momentum=0.9)
+        strategy.aggregate([ModelContribution(_state(1))])
+        second = strategy.aggregate([ModelContribution(_state(2))])
+        third = strategy.aggregate([ModelContribution(_state(3))])
+        # With momentum the third step overshoots the plain target of 3.
+        assert third["w"].mean() > 3.0
+        assert second["w"].mean() >= 1.9
+
+    def test_reset_clears_velocity(self):
+        strategy = FedAvgMomentum(momentum=0.9)
+        strategy.aggregate([ModelContribution(_state(1))])
+        strategy.reset()
+        result = strategy.aggregate([ModelContribution(_state(5))])
+        assert state_dicts_allclose(result, _state(5))
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            FedAvgMomentum(momentum=1.5)

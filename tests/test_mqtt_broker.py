@@ -1,0 +1,286 @@
+"""Tests for the in-process MQTT broker: routing, QoS, retained messages,
+sessions, wills, payload limits and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.errors import ClientIdInUseError, NotConnectedError, PayloadTooLargeError
+from repro.mqtt.messages import MQTTMessage, QoS
+from repro.mqtt.network import LinkProfile, NetworkModel
+
+
+def _connect(broker, client_id, **kwargs):
+    client = MQTTClient(client_id, **kwargs)
+    client.connect(broker)
+    return client
+
+
+class TestConnectionLifecycle:
+    def test_connect_and_disconnect(self, broker):
+        client = _connect(broker, "c1")
+        assert broker.is_connected("c1")
+        client.disconnect()
+        assert not broker.is_connected("c1")
+
+    def test_duplicate_client_id_rejected(self, broker):
+        _connect(broker, "c1")
+        with pytest.raises(ClientIdInUseError):
+            _connect(broker, "c1")
+
+    def test_connect_twice_on_same_client_rejected(self, broker):
+        client = _connect(broker, "c1")
+        with pytest.raises(NotConnectedError):
+            client.connect(broker)
+
+    def test_clean_session_drops_subscriptions(self, broker):
+        client = _connect(broker, "c1")
+        client.subscribe("a/b")
+        client.disconnect()
+        client.connect(broker)
+        assert client.subscriptions() == {}
+
+    def test_persistent_session_resumes_subscriptions(self, broker):
+        client = _connect(broker, "c1", clean_session=False)
+        client.subscribe("a/b", QoS.AT_LEAST_ONCE)
+        client.disconnect()
+        resumed = client.connect(broker)
+        assert resumed
+        assert client.subscriptions() == {"a/b": QoS.AT_LEAST_ONCE}
+
+    def test_persistent_session_queues_qos1_while_offline(self, broker):
+        subscriber = _connect(broker, "sub", clean_session=False)
+        subscriber.subscribe("news", QoS.AT_LEAST_ONCE)
+        subscriber.disconnect()
+
+        publisher = _connect(broker, "pub")
+        publisher.publish("news", b"offline delivery", qos=QoS.AT_LEAST_ONCE)
+        assert broker.stats.messages_queued_offline == 1
+
+        received = []
+        subscriber.on_message = lambda _c, m: received.append(m.payload)
+        subscriber.connect(broker)
+        subscriber.loop()
+        assert received == [b"offline delivery"]
+
+    def test_qos0_not_queued_for_offline_session(self, broker):
+        subscriber = _connect(broker, "sub", clean_session=False)
+        subscriber.subscribe("news", QoS.AT_MOST_ONCE)
+        subscriber.disconnect()
+        publisher = _connect(broker, "pub")
+        publisher.publish("news", b"gone", qos=QoS.AT_MOST_ONCE)
+        assert broker.stats.messages_queued_offline == 0
+        assert broker.stats.messages_dropped == 1
+
+    def test_connected_clients_listing(self, broker):
+        _connect(broker, "b")
+        _connect(broker, "a")
+        assert broker.connected_clients == ["a", "b"]
+
+
+class TestRouting:
+    def test_basic_delivery(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        received = []
+        sub.on_message = lambda _c, m: received.append((m.topic, m.payload))
+        sub.subscribe("sensors/+/temp")
+        pub.publish("sensors/kitchen/temp", b"21.5")
+        sub.loop()
+        assert received == [("sensors/kitchen/temp", b"21.5")]
+
+    def test_no_delivery_without_subscription(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        pub.publish("other/topic", b"x")
+        assert sub.loop() == 0
+
+    def test_publisher_does_not_receive_its_own_message(self, broker):
+        client = _connect(broker, "c")
+        client.subscribe("loop/topic")
+        client.publish("loop/topic", b"echo?")
+        assert client.loop() == 0
+
+    def test_fanout_to_multiple_subscribers(self, broker):
+        pub = _connect(broker, "pub")
+        subs = [_connect(broker, f"s{i}") for i in range(5)]
+        for sub in subs:
+            sub.subscribe("fan/out")
+        deliveries = pub.publish("fan/out", b"x")
+        assert broker.subscriber_count("fan/out") == 5
+        for sub in subs:
+            assert sub.loop() == 1
+
+    def test_overlapping_subscriptions_deliver_once_per_client(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("a/#")
+        sub.subscribe("a/+")
+        pub.publish("a/b", b"x")
+        # The broker routes per matching client (set semantics), not per filter.
+        assert sub.loop() == 1
+
+    def test_unsubscribe_stops_delivery(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t")
+        assert sub.unsubscribe("t")
+        pub.publish("t", b"x")
+        assert sub.loop() == 0
+
+    def test_unsubscribe_unknown_filter_returns_false(self, broker):
+        sub = _connect(broker, "sub")
+        assert not sub.unsubscribe("never/subscribed")
+
+    def test_effective_qos_is_minimum(self, broker):
+        sub = _connect(broker, "sub")
+        sub.subscribe("t", QoS.AT_LEAST_ONCE)
+        deliveries = broker.publish(
+            MQTTMessage(topic="t", payload=b"x", qos=QoS.EXACTLY_ONCE, sender_id="pub")
+        )
+        assert deliveries[0].effective_qos == QoS.AT_LEAST_ONCE
+
+    def test_payload_too_large_rejected(self):
+        broker = MQTTBroker("small", max_payload_bytes=16)
+        pub = _connect(broker, "pub")
+        with pytest.raises(PayloadTooLargeError):
+            pub.publish("t", b"x" * 17)
+
+    def test_publish_requires_connection(self, broker):
+        client = MQTTClient("never-connected")
+        with pytest.raises(NotConnectedError):
+            client.publish("t", b"x")
+
+    def test_deliveries_return_records(self, broker):
+        sub = _connect(broker, "sub")
+        sub.subscribe("t/#")
+        records = broker.publish(MQTTMessage(topic="t/1", payload=b"data", sender_id="pub"))
+        assert len(records) == 1
+        assert records[0].subscriber_id == "sub"
+        assert records[0].message.sender_id == "pub"
+
+
+class TestRetainedMessages:
+    def test_retained_replayed_on_subscribe(self, broker):
+        pub = _connect(broker, "pub")
+        pub.publish("config/rate", b"10", retain=True)
+        sub = _connect(broker, "sub")
+        received = []
+        sub.on_message = lambda _c, m: received.append(m.payload)
+        sub.subscribe("config/#")
+        sub.loop()
+        assert received == [b"10"]
+
+    def test_retained_overwritten(self, broker):
+        pub = _connect(broker, "pub")
+        pub.publish("config/rate", b"10", retain=True)
+        pub.publish("config/rate", b"20", retain=True)
+        assert broker.retained_message("config/rate").payload == b"20"
+
+    def test_empty_retained_clears(self, broker):
+        pub = _connect(broker, "pub")
+        pub.publish("config/rate", b"10", retain=True)
+        pub.publish("config/rate", b"", retain=True)
+        assert broker.retained_message("config/rate") is None
+        assert broker.retained_topics == []
+
+    def test_non_retained_not_replayed(self, broker):
+        pub = _connect(broker, "pub")
+        pub.publish("volatile", b"x")
+        sub = _connect(broker, "sub")
+        sub.subscribe("volatile")
+        assert sub.loop() == 0
+
+
+class TestLastWill:
+    def test_will_published_on_unexpected_disconnect(self, broker):
+        watcher = _connect(broker, "watcher")
+        seen = []
+        watcher.on_message = lambda _c, m: seen.append((m.topic, m.payload))
+        watcher.subscribe("status/+")
+
+        fragile = MQTTClient("fragile")
+        fragile.will_set("status/fragile", b"offline", qos=QoS.AT_LEAST_ONCE)
+        fragile.connect(broker)
+        fragile.disconnect(unexpected=True)
+        watcher.loop()
+        assert seen == [("status/fragile", b"offline")]
+
+    def test_will_not_published_on_clean_disconnect(self, broker):
+        watcher = _connect(broker, "watcher")
+        watcher.subscribe("status/+")
+        fragile = MQTTClient("fragile")
+        fragile.will_set("status/fragile", b"offline")
+        fragile.connect(broker)
+        fragile.disconnect(unexpected=False)
+        assert watcher.loop() == 0
+
+
+class TestBrokerStats:
+    def test_counters(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t")
+        pub.publish("t", b"12345")
+        sub.loop()
+        assert broker.stats.messages_published == 1
+        assert broker.stats.messages_delivered == 1
+        assert broker.stats.bytes_published == 5
+        assert broker.stats.bytes_delivered == 5
+        assert broker.stats.connects == 2
+
+    def test_traffic_log_per_receiver(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t")
+        pub.publish("t", b"abcd")
+        assert broker.traffic.bytes_received_by("sub") == 4
+        assert broker.traffic.bytes_sent_by("pub") == 4
+        assert broker.traffic.messages_on_topic("t") == 1
+
+    def test_reset_stats_preserves_subscriptions(self, broker):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t")
+        pub.publish("t", b"x")
+        sub.loop()
+        broker.reset_stats()
+        assert broker.stats.messages_published == 0
+        pub.publish("t", b"y")
+        assert sub.loop() == 1
+
+
+class TestNetworkIntegration:
+    def test_transfer_time_recorded(self):
+        network = NetworkModel(default_link=LinkProfile(latency_s=0.01, bandwidth_bps=1e6))
+        broker = MQTTBroker("net", network=network)
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t")
+        pub.publish("t", b"x" * 1000)
+        record = broker.traffic.records[0]
+        assert record.transfer_time_s > 0.02  # two hops of >= 10ms latency each
+
+    def test_lossy_qos0_drops_messages(self):
+        network = NetworkModel(default_link=LinkProfile(loss_rate=1.0 - 1e-12), seed=1)
+        # loss_rate must be < 1.0; use a value astronomically close to 1.
+        broker = MQTTBroker("lossy", network=network)
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t", QoS.AT_MOST_ONCE)
+        for _ in range(20):
+            pub.publish("t", b"x", qos=QoS.AT_MOST_ONCE)
+        assert sub.loop() == 0
+        assert broker.stats.messages_dropped == 20
+
+    def test_qos1_never_dropped_by_loss_model(self):
+        network = NetworkModel(default_link=LinkProfile(loss_rate=0.9), seed=1)
+        broker = MQTTBroker("lossy", network=network)
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        sub.subscribe("t", QoS.AT_LEAST_ONCE)
+        for _ in range(20):
+            pub.publish("t", b"x", qos=QoS.AT_LEAST_ONCE)
+        assert sub.loop() == 20

@@ -1,0 +1,177 @@
+"""Tests for the paho-like MQTT client wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.errors import NotConnectedError
+from repro.mqtt.messages import DeliveryRecord, MQTTMessage, QoS
+
+
+class TestCallbacks:
+    def test_per_filter_callback_takes_priority(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+        general, specific = [], []
+        sub.on_message = lambda _c, m: general.append(m.topic)
+        sub.message_callback_add("alerts/#", lambda _c, m: specific.append(m.topic))
+        sub.subscribe("alerts/#")
+        sub.subscribe("news/#")
+        pub.publish("alerts/fire", b"!")
+        pub.publish("news/today", b"-")
+        sub.loop()
+        assert specific == ["alerts/fire"]
+        assert general == ["news/today"]
+
+    def test_callback_remove_falls_back_to_on_message(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+        fallback = []
+        sub.on_message = lambda _c, m: fallback.append(m.topic)
+        sub.message_callback_add("t", lambda _c, m: None)
+        sub.message_callback_remove("t")
+        sub.subscribe("t")
+        pub.publish("t", b"x")
+        sub.loop()
+        assert fallback == ["t"]
+
+    def test_message_without_handler_is_counted(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+        sub.subscribe("t")
+        pub.publish("t", b"x")
+        assert sub.loop() == 1
+        assert sub.messages_received == 1
+
+    def test_callback_exception_propagates(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+
+        def boom(_c, _m):
+            raise RuntimeError("handler crashed")
+
+        sub.on_message = boom
+        sub.subscribe("t")
+        pub.publish("t", b"x")
+        with pytest.raises(RuntimeError, match="handler crashed"):
+            sub.loop()
+
+    def test_on_connect_and_disconnect_hooks(self, broker):
+        events = []
+        client = MQTTClient("hooked")
+        client.on_connect = lambda c: events.append("connect")
+        client.on_disconnect = lambda c: events.append("disconnect")
+        client.connect(broker)
+        client.disconnect()
+        assert events == ["connect", "disconnect"]
+
+
+class TestLoop:
+    def test_loop_respects_max_messages(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+        sub.subscribe("t")
+        for i in range(5):
+            pub.publish("t", str(i))
+        assert sub.loop(max_messages=2) == 2
+        assert sub.pending_messages == 3
+        assert sub.loop() == 3
+
+    def test_loop_until_empty_processes_chained_publishes(self, broker, connected_clients):
+        a = connected_clients("a")
+        b = connected_clients("b")
+
+        def relay(_c, m):
+            if m.topic == "ping":
+                a.publish("pong", b"")
+
+        a.on_message = relay
+        a.subscribe("ping")
+        b.subscribe("pong")
+        a_received = a.loop_until_empty()
+        b.publish("ping", b"")
+        a.loop_until_empty()
+        assert b.loop() == 1
+
+    def test_counters_track_bytes(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+        sub.subscribe("t")
+        pub.publish("t", b"12345")
+        sub.loop()
+        assert pub.messages_published == 1
+        assert pub.bytes_published == 5
+        assert sub.bytes_received == 5
+
+
+class TestQoS2Deduplication:
+    def test_duplicate_qos2_delivery_suppressed(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        received = []
+        sub.on_message = lambda _c, m: received.append(m.message_id)
+        sub.subscribe("t", QoS.EXACTLY_ONCE)
+        message = MQTTMessage(topic="t", payload=b"x", qos=QoS.EXACTLY_ONCE, sender_id="ghost")
+        records = broker.publish(message)
+        # Simulate a network-level redelivery of the same application message.
+        sub._deliver(DeliveryRecord(message=message, subscriber_id="sub", subscription_filter="t",
+                                    effective_qos=QoS.EXACTLY_ONCE))
+        sub.loop()
+        assert len(received) == 1
+
+    def test_qos1_duplicates_are_delivered_twice(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        received = []
+        sub.on_message = lambda _c, m: received.append(m.message_id)
+        sub.subscribe("t", QoS.AT_LEAST_ONCE)
+        message = MQTTMessage(topic="t", payload=b"x", qos=QoS.AT_LEAST_ONCE, sender_id="ghost")
+        broker.publish(message)
+        sub._deliver(DeliveryRecord(message=message, subscriber_id="sub", subscription_filter="t",
+                                    effective_qos=QoS.AT_LEAST_ONCE, duplicate=True))
+        sub.loop()
+        assert len(received) == 2
+
+
+class TestDisconnectedOperations:
+    def test_subscribe_requires_connection(self):
+        client = MQTTClient("c")
+        with pytest.raises(NotConnectedError):
+            client.subscribe("t")
+
+    def test_subscriptions_empty_when_disconnected(self):
+        assert MQTTClient("c").subscriptions() == {}
+
+    def test_payload_string_encoded_utf8(self, broker, connected_clients):
+        sub = connected_clients("sub")
+        pub = connected_clients("pub")
+        got = []
+        sub.on_message = lambda _c, m: got.append(m.payload)
+        sub.subscribe("t")
+        pub.publish("t", "héllo")
+        sub.loop()
+        assert got == ["héllo".encode("utf-8")]
+
+
+class TestMQTTMessage:
+    def test_payload_text_roundtrip(self):
+        message = MQTTMessage(topic="t", payload="text payload")
+        assert message.payload_text() == "text payload"
+
+    def test_size_bytes(self):
+        assert MQTTMessage(topic="t", payload=b"abc").size_bytes == 3
+
+    def test_copy_is_independent(self):
+        original = MQTTMessage(topic="t", payload=b"abc", qos=QoS.AT_LEAST_ONCE, retain=True)
+        clone = original.copy()
+        assert clone is not original
+        assert clone.topic == original.topic
+        assert clone.qos == original.qos
+        assert clone.retain == original.retain
+
+    def test_invalid_qos_rejected(self):
+        with pytest.raises(ValueError):
+            MQTTMessage(topic="t", qos=7)
+
+    def test_bytearray_payload_normalized(self):
+        assert MQTTMessage(topic="t", payload=bytearray(b"xy")).payload == b"xy"

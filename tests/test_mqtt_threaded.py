@@ -1,0 +1,91 @@
+"""Tests for the thread-backed broker adapter."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.threaded import ThreadedBrokerAdapter
+
+
+@pytest.fixture
+def adapter(broker):
+    adapter = ThreadedBrokerAdapter(broker, poll_interval_s=0.001)
+    yield adapter
+    adapter.loop_stop()
+
+
+def _connect(broker, client_id):
+    client = MQTTClient(client_id)
+    client.connect(broker)
+    return client
+
+
+class TestManualPumping:
+    def test_pump_once_processes_messages(self, broker, adapter):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        adapter.register([sub, pub])
+        sub.subscribe("t")
+        pub.publish("t", b"x")
+        assert adapter.pump_once() == 1
+        assert adapter.messages_pumped == 1
+
+    def test_pump_until_idle_follows_chains(self, broker, adapter):
+        a = _connect(broker, "a")
+        b = _connect(broker, "b")
+        adapter.register([a, b])
+        a.subscribe("ping")
+        b.subscribe("pong")
+        a.on_message = lambda _c, m: a.publish("pong", b"")
+        a_and_b = []
+        b.on_message = lambda _c, m: a_and_b.append(m.topic)
+        pub = _connect(broker, "pub")
+        pub.publish("ping", b"")
+        adapter.pump_until_idle()
+        assert a_and_b == ["pong"]
+
+    def test_register_unregister(self, broker, adapter):
+        client = _connect(broker, "c")
+        adapter.register(client)
+        adapter.register(client)  # idempotent
+        adapter.unregister(client)
+        pub = _connect(broker, "pub")
+        client.subscribe("t")
+        pub.publish("t", b"x")
+        assert adapter.pump_once() == 0
+        assert client.pending_messages == 1
+
+
+class TestBackgroundThread:
+    def test_loop_start_delivers_asynchronously(self, broker, adapter):
+        sub = _connect(broker, "sub")
+        pub = _connect(broker, "pub")
+        received = []
+        sub.on_message = lambda _c, m: received.append(m.payload)
+        sub.subscribe("async/t")
+        adapter.register([sub, pub])
+        adapter.loop_start()
+        assert adapter.running
+        pub.publish("async/t", b"hello")
+        deadline = time.time() + 2.0
+        while not received and time.time() < deadline:
+            time.sleep(0.005)
+        assert received == [b"hello"]
+        adapter.loop_stop()
+        assert not adapter.running
+
+    def test_context_manager_starts_and_stops(self, broker):
+        adapter = ThreadedBrokerAdapter(broker)
+        with adapter:
+            assert adapter.running
+        assert not adapter.running
+
+    def test_loop_start_idempotent(self, broker, adapter):
+        adapter.loop_start()
+        thread_before = adapter._thread
+        adapter.loop_start()
+        assert adapter._thread is thread_before
