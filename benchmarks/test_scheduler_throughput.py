@@ -1,0 +1,97 @@
+"""Routing throughput of the event-driven scheduler at 1k+ simulated clients.
+
+The seed runtime's round-robin pump swept every client per sweep and re-walked
+the subscription trie on every publish.  This benchmark drives the two hot-path
+changes of the event-driven runtime together:
+
+* the broker hands every delivery to an :class:`EventScheduler` heap keyed by
+  ``(deliver_at, sequence)`` instead of per-client inboxes, and
+* ``TopicTrie.match`` memoizes per concrete topic, so fanning the same
+  command topic out to 1k+ subscribers walks the trie once, not once per
+  publish (the cache-hit counter is asserted below).
+
+The printed figure is deliveries per wall-clock second through the full
+publish → schedule → heap-drain → callback path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.messages import QoS
+from repro.mqtt.network import NetworkModel
+from repro.runtime.scheduler import EventScheduler
+from repro.sim.clock import SimulationClock
+
+NUM_CLIENTS = 1_200
+NUM_BROADCASTS = 25
+
+
+def _build_fleet():
+    clock = SimulationClock()
+    broker = MQTTBroker("bench-broker", network=NetworkModel(seed=3), clock=clock)
+    scheduler = EventScheduler(clock=clock)
+    scheduler.attach_broker(broker)
+
+    received = [0] * NUM_CLIENTS
+    clients = []
+    for index in range(NUM_CLIENTS):
+        client = MQTTClient(f"dev_{index:04d}")
+        client.connect(broker)
+        client.subscribe("fleet/all/cmd", QoS.AT_LEAST_ONCE)
+        client.subscribe(f"fleet/dev_{index:04d}/cmd", QoS.AT_LEAST_ONCE)
+
+        def on_message(_c, _m, index=index):
+            received[index] += 1
+
+        client.on_message = on_message
+        scheduler.register(client)
+        clients.append(client)
+
+    commander = MQTTClient("commander")
+    commander.connect(broker)
+    return broker, scheduler, commander, received
+
+
+def test_scheduler_throughput(benchmark, bench_fast):
+    def run():
+        broker, scheduler, commander, received = _build_fleet()
+        start = time.perf_counter()
+        for round_index in range(NUM_BROADCASTS):
+            commander.publish("fleet/all/cmd", b"sync", qos=QoS.AT_LEAST_ONCE)
+            # A handful of unicast messages interleaved with the broadcasts.
+            commander.publish(f"fleet/dev_{round_index:04d}/cmd", b"ping", qos=QoS.AT_LEAST_ONCE)
+            scheduler.run_until_idle()
+        elapsed = time.perf_counter() - start
+        return broker, scheduler, received, elapsed
+
+    broker, scheduler, received, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    delivered = sum(received)
+    trie = broker._subscriptions
+    emit(
+        "Event scheduler — routing throughput at 1k+ simulated clients",
+        f"clients:               {NUM_CLIENTS}\n"
+        f"deliveries dispatched: {delivered}\n"
+        f"wall time:             {elapsed:.3f} s\n"
+        f"throughput:            {delivered / max(elapsed, 1e-9):,.0f} deliveries/s\n"
+        f"trie match cache:      {trie.match_cache_hits} hits / "
+        f"{trie.match_cache_misses} misses",
+    )
+
+    # Every one of the 1k+ clients saw every broadcast (plus its unicast ping).
+    assert NUM_CLIENTS >= 1_000
+    assert delivered == NUM_CLIENTS * NUM_BROADCASTS + NUM_BROADCASTS
+    assert scheduler.messages_processed == delivered
+
+    # The trie must NOT re-match on every publish: after the first broadcast
+    # walks the trie, the remaining ones are pure cache hits.
+    assert trie.match_cache_hits >= NUM_BROADCASTS - 1
+    assert trie.match_cache_hits + trie.match_cache_misses >= 2 * NUM_BROADCASTS
+
+    # Simulated time advanced to the deliveries' arrival instants.
+    assert scheduler.now() > 0.0

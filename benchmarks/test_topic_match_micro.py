@@ -1,0 +1,84 @@
+"""Micro-benchmark guard for the broker's topic-matching hot path.
+
+The seed imported ``topic_matches_filter`` *inside* ``MQTTBroker.subscribe``
+and ``MQTTBroker._matched_filter``, paying an import-machinery lookup on every
+retained-message replay and every delivery's filter resolution.  Those imports
+are now hoisted to module level; this file pins that down two ways:
+
+* a static guard that fails if anyone reintroduces an in-function import in
+  the hot-path methods, and
+* a micro-benchmark of the subscribe/publish/match cycle, with a very
+  conservative throughput floor so a gross regression (like an accidental
+  per-call import or a disabled match cache) shows up as a failure rather
+  than a silent slowdown.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+
+from conftest import emit
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.messages import MQTTMessage
+
+NUM_TOPICS = 50
+NUM_PUBLISHES = 2_000
+
+
+#: An actual import statement (any indentation), not the word "import" in a
+#: comment or docstring.
+_IMPORT_STATEMENT = re.compile(r"^\s*(?:from\s+\S+\s+)?import\s", re.MULTILINE)
+
+
+def test_no_in_function_imports_on_hot_path():
+    for method in (MQTTBroker.subscribe, MQTTBroker._matched_filter, MQTTBroker.publish):
+        source = inspect.getsource(method)
+        assert not _IMPORT_STATEMENT.search(source), (
+            f"{method.__qualname__} re-grew an in-function import; keep "
+            "topic_matches_filter hoisted to module level"
+        )
+
+
+def test_routing_micro_benchmark(benchmark):
+    broker = MQTTBroker("micro")
+    subscribers = []
+    for index in range(20):
+        client = MQTTClient(f"sub_{index:02d}")
+        client.connect(broker)
+        client.subscribe("sensors/#")
+        client.subscribe(f"sensors/room{index}/+")
+        subscribers.append(client)
+    publisher = MQTTClient("pub")
+    publisher.connect(broker)
+
+    topics = [f"sensors/room{i % 20}/temp" for i in range(NUM_TOPICS)]
+
+    def route():
+        for i in range(NUM_PUBLISHES):
+            broker.publish(MQTTMessage(topic=topics[i % NUM_TOPICS], payload=b"x", sender_id="pub"))
+        for client in subscribers:
+            client.loop()
+        return broker.stats.messages_published
+
+    published = benchmark.pedantic(route, rounds=3, iterations=1)
+    assert published >= NUM_PUBLISHES
+
+    per_second = NUM_PUBLISHES / benchmark.stats.stats.mean
+    emit(
+        "Micro-benchmark — broker publish/match/deliver cycle",
+        f"publishes per round: {NUM_PUBLISHES}\n"
+        f"throughput:          {per_second:,.0f} publishes/s\n"
+        f"match cache:         {broker._subscriptions.match_cache_hits} hits / "
+        f"{broker._subscriptions.match_cache_misses} misses",
+    )
+
+    # Very conservative floor (orders of magnitude below a healthy run) so the
+    # guard only trips on a real hot-path regression, not on CI noise.
+    assert per_second > 1_000
+
+    # The publish loop hits the same topics repeatedly: the match cache must
+    # be doing the matching, not the trie walk.
+    assert broker._subscriptions.match_cache_hits > NUM_PUBLISHES

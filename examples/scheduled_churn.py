@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Timed churn driven by the event scheduler.
+
+The round-robin examples (``client_churn.py``) kill clients *between* pump
+sweeps — the failure instant is a side effect of call order.  With the
+event-driven :class:`~repro.runtime.EventScheduler` churn becomes part of the
+simulation timeline itself: a :class:`~repro.sim.ChurnSchedule` plans client
+joins, ungraceful departures and reconnects at exact simulated times, and the
+scheduler interleaves them with in-flight message deliveries in strict
+``(deliver_at, sequence)`` order.
+
+The scenario is an SDFLMQ-style fleet-presence deployment: sensor devices with
+persistent sessions publish QoS-1 telemetry every 30 simulated seconds and
+carry a last-will ``offline`` marker on their presence topic.  A monitor
+subscribes to everything.  The plan:
+
+* t=100 s  — ``sensor_02`` loses power mid-flight (will fires, the QoS-1
+  config broadcasts it subscribes to start queueing in the broker's
+  persistent session),
+* t=200 s  — a brand-new device ``sensor_04`` joins the fleet,
+* t=300 s  — ``sensor_02`` comes back; the broker replays its queued backlog
+  in the order the messages were published.
+
+Run with::
+
+    python examples/scheduled_churn.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mqtt import MQTTBroker, MQTTClient, NetworkModel, QoS
+from repro.runtime import EventScheduler
+from repro.sim import ChurnEvent, ChurnSchedule, EventLog, SimulationClock
+
+TELEMETRY_PERIOD_S = 30.0
+HORIZON_S = 420.0
+
+
+def main() -> None:
+    clock = SimulationClock()
+    network = NetworkModel(seed=7)
+    broker = MQTTBroker("edge-broker", network=network, clock=clock)
+    scheduler = EventScheduler(clock=clock)
+    scheduler.attach_broker(broker)
+    event_log = EventLog()
+
+    # ------------------------------------------------------------- the fleet
+    fleet: Dict[str, MQTTClient] = {}
+    monitor = MQTTClient("monitor")
+    monitor.connect(broker)
+    monitor.subscribe("fleet/+/telemetry", QoS.AT_LEAST_ONCE)
+    monitor.subscribe("fleet/+/presence", QoS.AT_LEAST_ONCE)
+    scheduler.register(monitor)
+
+    arrivals: List[str] = []
+    monitor.on_message = lambda _c, m: arrivals.append(
+        f"t={clock.now():7.2f}s  {m.topic:24s} {m.payload_text()}"
+    )
+
+    config_received: Dict[str, int] = {}
+
+    def add_device(device_id: str) -> MQTTClient:
+        device = MQTTClient(device_id, clean_session=False)
+        device.will_set(f"fleet/{device_id}/presence", b"offline", qos=QoS.AT_LEAST_ONCE, retain=True)
+        device.connect(broker)
+        device.publish(f"fleet/{device_id}/presence", b"online", qos=QoS.AT_LEAST_ONCE, retain=True)
+        device.subscribe("fleet/broadcast/config", QoS.AT_LEAST_ONCE)
+        config_received.setdefault(device_id, 0)
+
+        def on_config(_c: MQTTClient, _m: object, device_id: str = device_id) -> None:
+            config_received[device_id] += 1
+
+        device.on_message = on_config
+        scheduler.register(device)
+        fleet[device_id] = device
+        return device
+
+    def emit_telemetry(device_id: str) -> None:
+        """Publish one reading and schedule the next — a recurring timed action."""
+        device = fleet[device_id]
+        if device.connected:
+            reading = f"temp={20 + sum(device_id.encode()) % 5}.{int(clock.now()) % 10}"
+            device.publish(f"fleet/{device_id}/telemetry", reading.encode(), qos=QoS.AT_LEAST_ONCE)
+        scheduler.call_at(clock.now() + TELEMETRY_PERIOD_S, lambda: emit_telemetry(device_id))
+
+    def broadcast_config(version: int = 1) -> None:
+        """The monitor pushes a fleet-wide config update every 60 s (QoS 1)."""
+        monitor.publish("fleet/broadcast/config", f"config v{version}".encode(), qos=QoS.AT_LEAST_ONCE)
+        scheduler.call_at(clock.now() + 60.0, lambda: broadcast_config(version + 1))
+
+    scheduler.call_at(60.0, broadcast_config)
+
+    for index in range(4):
+        add_device(f"sensor_{index:02d}")
+    for device_id in list(fleet):
+        scheduler.call_at(TELEMETRY_PERIOD_S, lambda device_id=device_id: emit_telemetry(device_id))
+
+    # ------------------------------------------------------------ churn plan
+    plan = ChurnSchedule()
+    plan.leave(100.0, "sensor_02", detail="battery died mid-transmission")
+    plan.join(200.0, "sensor_04", detail="replacement device provisioned")
+    plan.reconnect(300.0, "sensor_02", detail="battery swapped")
+
+    def on_leave(event: ChurnEvent) -> None:
+        fleet[event.client_id].disconnect(unexpected=True)
+        print(f"t={clock.now():7.2f}s  !! {event.client_id} dropped ({event.detail})")
+
+    def on_join(event: ChurnEvent) -> None:
+        add_device(event.client_id)
+        scheduler.call_at(clock.now() + TELEMETRY_PERIOD_S, lambda: emit_telemetry(event.client_id))
+        print(f"t={clock.now():7.2f}s  ++ {event.client_id} joined ({event.detail})")
+
+    def on_reconnect(event: ChurnEvent) -> None:
+        device = fleet[event.client_id]
+        missed = config_received[event.client_id]
+        device.connect(broker)  # persistent session: queued QoS-1 backlog replays
+        device.publish(f"fleet/{event.client_id}/presence", b"online", qos=QoS.AT_LEAST_ONCE, retain=True)
+        print(f"t={clock.now():7.2f}s  ** {event.client_id} reconnected ({event.detail}); "
+              f"had seen {missed} config updates before dropping")
+
+    plan.bind(
+        scheduler,
+        {"leave": on_leave, "join": on_join, "reconnect": on_reconnect},
+        event_log=event_log,
+    )
+
+    # ------------------------------------------------------------- execution
+    print(f"running {HORIZON_S:.0f} simulated seconds of fleet telemetry with scheduled churn\n")
+    for checkpoint in (100.0, 200.0, 300.0, HORIZON_S):
+        scheduler.run_until_time(checkpoint)
+        connected = sorted(d for d, c in fleet.items() if c.connected)
+        print(f"t={clock.now():7.2f}s  -- checkpoint: {len(connected)} devices online: {connected}")
+
+    print(f"\nmonitor received {len(arrivals)} messages; last five:")
+    for line in arrivals[-5:]:
+        print(f"  {line}")
+
+    offline_will = next(a for a in arrivals if a.endswith("offline"))
+    print(f"\nlast-will observed by the monitor:\n  {offline_will}")
+    print("config updates seen per device (sensor_02 caught up via its persistent-session backlog):")
+    for device_id in sorted(config_received):
+        print(f"  {device_id}: {config_received[device_id]}")
+    print(f"churn events fired: {sorted(event_log.kinds())}")
+    print(f"scheduler processed {scheduler.events_processed} events "
+          f"({scheduler.actions_fired} timed actions) over {clock.now():.1f} simulated seconds")
+
+
+if __name__ == "__main__":
+    main()

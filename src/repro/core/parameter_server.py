@@ -66,6 +66,7 @@ class ParameterServer:
         self._models: Dict[str, GlobalModelRecord] = {}
         self.stores_received = 0
         self.updates_published = 0
+        self.duplicate_stores_ignored = 0
 
         # One wildcard registration serves every session's store topic.
         self.endpoint.register("store_global", self._handle_store_global, _STORE_WILDCARD)
@@ -97,6 +98,26 @@ class ParameterServer:
         round_index = int(payload.get("round_index", 0))
         state: StateDict = payload["state"]
         record = self._models.setdefault(session_id, GlobalModelRecord(session_id=session_id))
+        if record.state is not None and round_index <= record.round_index:
+            # Duplicate or stale store: a mid-round failure can race the
+            # coordinator's round restart against an aggregate already in
+            # flight, producing a second global for a round that is stored.
+            # The repository keeps exactly one global per round, so the late
+            # copy is acknowledged (with the existing version) but not stored,
+            # re-announced or counted — otherwise the coordinator's
+            # rounds-vs-versions bookkeeping would drift and the *next*
+            # failure would go unrepaired.
+            self.duplicate_stores_ignored += 1
+            if self.event_log is not None:
+                self.event_log.record(
+                    timestamp=self.mqtt.broker.now() if self.mqtt.broker else 0.0,
+                    kind="global_model_store_ignored",
+                    actor=self.client_id,
+                    session_id=session_id,
+                    round_index=round_index,
+                    detail=f"already at round {record.round_index} version {record.version}",
+                )
+            return {"session_id": session_id, "version": record.version, "duplicate": True}
         record.version += 1
         record.round_index = round_index
         record.state = state

@@ -3,17 +3,20 @@
 The broker owns the subscription trie, retained messages, client sessions
 (including persistent sessions and last-will handling) and the traffic log.
 Message delivery is *queued*: a publish places :class:`DeliveryRecord` objects
-in each subscriber's inbox; subscribers process them when their ``loop()`` is
-pumped.  This keeps routing deterministic and avoids unbounded recursion when
-a message handler publishes further messages (which is constant behaviour in
-the SDFLMQ choreography).
+in each subscriber's inbox — or, when an
+:class:`~repro.runtime.scheduler.EventScheduler` is attached, in its
+time-ordered event heap.  Subscribers process them when their ``loop()`` is
+pumped or the scheduler drains.  This keeps routing deterministic and avoids
+unbounded recursion when a message handler publishes further messages (which
+is constant behaviour in the SDFLMQ choreography).
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Tuple
 
 from repro.mqtt.errors import (
     ClientIdInUseError,
@@ -27,11 +30,17 @@ from repro.mqtt.messages import (
     QoS,
 )
 from repro.mqtt.network import NetworkModel, TrafficLog, TrafficRecord
-from repro.mqtt.topics import TopicTrie, validate_topic, validate_topic_filter
+from repro.mqtt.topics import (
+    TopicTrie,
+    topic_matches_filter,
+    validate_topic,
+    validate_topic_filter,
+)
 from repro.utils.validation import require_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mqtt.bridge import BrokerBridge
+    from repro.runtime.scheduler import EventScheduler
 
 __all__ = ["MQTTBroker", "BrokerStats", "Subscription"]
 
@@ -105,6 +114,11 @@ class MQTTBroker:
     max_offline_queue:
         Maximum number of QoS>0 messages queued for a disconnected persistent
         session before old ones are discarded.
+    max_bridge_dedup:
+        Maximum number of ``(origin_broker, message_id)`` keys remembered for
+        bridge loop prevention.  The set is an LRU ring: once full, the oldest
+        keys are evicted, keeping memory bounded over arbitrarily long bridged
+        runs while still deduplicating any realistically-delayed forward.
     """
 
     def __init__(
@@ -114,20 +128,24 @@ class MQTTBroker:
         clock: Optional[object] = None,
         max_payload_bytes: int = 256 * 1024 * 1024,
         max_offline_queue: int = 10_000,
+        max_bridge_dedup: int = 50_000,
     ) -> None:
         self.name = name
         self.network = network
         self.clock = clock
         self.max_payload_bytes = int(require_positive(max_payload_bytes, "max_payload_bytes"))
         self.max_offline_queue = int(require_positive(max_offline_queue, "max_offline_queue"))
+        self.max_bridge_dedup = int(require_positive(max_bridge_dedup, "max_bridge_dedup"))
 
         self._sessions: Dict[str, _ClientSession] = {}
         self._subscriptions: TopicTrie[Tuple[str, QoS]] = TopicTrie()
         self._retained: Dict[str, MQTTMessage] = {}
         self._bridges: List["BrokerBridge"] = []
-        self._seen_bridge_messages: Set[Tuple[str, int]] = set()
+        # LRU-ordered dedup keys; values are unused (OrderedDict as ring set).
+        self._seen_bridge_messages: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
         self._message_ids = itertools.count(1)
         self._delivery_sequence = itertools.count(1)
+        self.scheduler: Optional["EventScheduler"] = None
         self.stats = BrokerStats()
         self.traffic = TrafficLog()
 
@@ -241,8 +259,6 @@ class MQTTBroker:
 
         # Retained message replay.
         for topic, message in self._retained.items():
-            from repro.mqtt.topics import topic_matches_filter
-
             if topic_matches_filter(topic, topic_filter):
                 record = self._make_delivery(message, client_id, topic_filter, qos, retained_replay=True)
                 if record is not None:
@@ -303,7 +319,7 @@ class MQTTBroker:
             if key in self._seen_bridge_messages:
                 return []
             self.stats.bridged_in += 1
-        self._seen_bridge_messages.add(key)
+        self._remember_bridge_key(key)
 
         self.stats.messages_published += 1
         self.stats.bytes_published += message.size_bytes
@@ -316,10 +332,19 @@ class MQTTBroker:
             self.stats.retained_messages = len(self._retained)
 
         deliveries: List[DeliveryRecord] = []
-        matches = sorted(self._subscriptions.match(message.topic))
-        for client_id, sub_qos in matches:
+        # A client holding several overlapping filters that match this topic
+        # appears once per distinct granted QoS; deliver exactly once per
+        # client, at the maximum granted QoS (MQTT 3.1.1 §3.3.5 allows either
+        # behaviour — once-per-client is what SDFLMQ's choreography assumes).
+        best_qos: Dict[str, QoS] = {}
+        for client_id, sub_qos in self._subscriptions.match(message.topic):
             if client_id == message.sender_id and self._suppress_echo:
                 continue
+            granted = best_qos.get(client_id)
+            if granted is None or sub_qos > granted:
+                best_qos[client_id] = sub_qos
+        for client_id in sorted(best_qos):
+            sub_qos = best_qos[client_id]
             session = self._sessions.get(client_id)
             if session is None:
                 continue
@@ -354,8 +379,6 @@ class MQTTBroker:
     _suppress_echo = True
 
     def _matched_filter(self, session: _ClientSession, topic: str, qos: QoS) -> str:
-        from repro.mqtt.topics import topic_matches_filter
-
         for topic_filter, sub_qos in session.subscriptions.items():
             if sub_qos == qos and topic_matches_filter(topic, topic_filter):
                 return topic_filter
@@ -406,11 +429,32 @@ class MQTTBroker:
         )
         return record
 
+    def _remember_bridge_key(self, key: Tuple[str, int]) -> None:
+        seen = self._seen_bridge_messages
+        if key in seen:
+            seen.move_to_end(key)
+            return
+        seen[key] = None
+        while len(seen) > self.max_bridge_dedup:
+            seen.popitem(last=False)
+
+    def attach_scheduler(self, scheduler: Optional["EventScheduler"]) -> None:
+        """Route deliveries through ``scheduler`` (``None`` restores inboxes).
+
+        With a scheduler attached, :meth:`_hand_over` enqueues each record in
+        the scheduler's time-ordered heap instead of the subscriber's inbox,
+        so the whole deployment is driven in ``deliver_at`` order.
+        """
+        self.scheduler = scheduler
+
     def _hand_over(self, session: _ClientSession, record: DeliveryRecord) -> None:
         assert session.target is not None
-        session.target._deliver(record)
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += record.message.size_bytes
+        if self.scheduler is not None:
+            self.scheduler.schedule(session.target, record)
+        else:
+            session.target._deliver(record)
 
     # --------------------------------------------------------------- retained
 

@@ -6,14 +6,15 @@ SDFLMQ's original implementation uses: ``connect``, ``subscribe``,
 ``message_callback_add``, a default ``on_message`` handler, and a ``loop`` /
 ``loop_forever``-style pump.  Because the broker lives in the same process,
 ``loop`` simply drains the client's inbox and invokes callbacks; the
-:class:`~repro.runtime.scheduler.MessagePump` drives all clients' loops in a
-deterministic round-robin order.
+:class:`~repro.runtime.scheduler.EventScheduler` (or its
+:class:`~repro.runtime.pump.MessagePump` facade) drives all clients'
+deliveries in deterministic ``(deliver_at, sequence)`` order.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.mqtt.broker import MQTTBroker
 from repro.mqtt.errors import NotConnectedError
@@ -39,6 +40,11 @@ class MQTTClient:
     userdata:
         Opaque object passed through to callbacks via the ``userdata``
         attribute (paho parity; SDFLMQ does not use it).
+    max_qos2_dedup:
+        Maximum number of ``(origin_broker, message_id)`` keys remembered for
+        QoS-2 exactly-once deduplication.  An LRU ring, mirroring the
+        broker's bounded bridge dedup, so long QoS-2 runs do not grow client
+        memory without limit.
     """
 
     def __init__(
@@ -46,6 +52,7 @@ class MQTTClient:
         client_id: str,
         clean_session: bool = True,
         userdata: object = None,
+        max_qos2_dedup: int = 10_000,
     ) -> None:
         self.client_id = validate_identifier(client_id, "client id")
         self.clean_session = bool(clean_session)
@@ -59,7 +66,8 @@ class MQTTClient:
         self._inbox: Deque[DeliveryRecord] = deque()
         self._callbacks: Dict[str, MessageCallback] = {}
         self._will: Optional[MQTTMessage] = None
-        self._delivered_qos2: set[tuple[str, int]] = set()
+        self._delivered_qos2: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self.max_qos2_dedup = max(1, int(max_qos2_dedup))
         self.messages_received = 0
         self.messages_published = 0
         self.bytes_received = 0
@@ -177,6 +185,18 @@ class MQTTClient:
         """Number of deliveries waiting in the inbox."""
         return len(self._inbox)
 
+    def take_pending(self) -> List[DeliveryRecord]:
+        """Remove and return all inbox records (oldest first).
+
+        Used by :class:`~repro.runtime.scheduler.EventScheduler` to migrate
+        records delivered directly to the inbox into its time-ordered heap.
+        """
+        if not self._inbox:
+            return []
+        records = list(self._inbox)
+        self._inbox.clear()
+        return records
+
     def loop(self, max_messages: Optional[int] = None) -> int:
         """Process up to ``max_messages`` pending deliveries (all if ``None``).
 
@@ -211,7 +231,9 @@ class MQTTClient:
             key = (message.origin_broker or "", message.message_id)
             if key in self._delivered_qos2:
                 return False
-            self._delivered_qos2.add(key)
+            self._delivered_qos2[key] = None
+            while len(self._delivered_qos2) > self.max_qos2_dedup:
+                self._delivered_qos2.popitem(last=False)
 
         self.messages_received += 1
         self.bytes_received += message.size_bytes

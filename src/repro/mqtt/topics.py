@@ -17,7 +17,8 @@ topics in large SDFLMQ sessions this is the routing hot path.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
 
 from repro.mqtt.errors import InvalidTopicError, InvalidTopicFilterError
 
@@ -145,11 +146,27 @@ class TopicTrie(Generic[T]):
     Values are usually ``(client_id, qos)``-like subscription handles; the trie
     itself is agnostic.  Duplicate inserts of the same (filter, value) pair are
     idempotent.
+
+    Match results are memoized per concrete topic in an LRU cache of
+    ``match_cache_size`` entries, invalidated wholesale whenever the stored
+    filters change (subscribe/unsubscribe).  SDFLMQ publishes the same
+    session/role topics thousands of times between subscription changes, so
+    on the routing hot path the trie walk happens once per topic, not once
+    per publish; ``match_cache_hits`` / ``match_cache_misses`` expose the
+    effectiveness to benchmarks.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, match_cache_size: int = 1024) -> None:
         self._root: _TrieNode[T] = _TrieNode()
         self._count = 0
+        self._match_cache: "OrderedDict[str, FrozenSet[T]]" = OrderedDict()
+        self._match_cache_size = max(0, int(match_cache_size))
+        self.match_cache_hits = 0
+        self.match_cache_misses = 0
+
+    def _invalidate_match_cache(self) -> None:
+        if self._match_cache:
+            self._match_cache.clear()
 
     def __len__(self) -> int:
         """Number of (filter, value) pairs stored."""
@@ -168,6 +185,7 @@ class TopicTrie(Generic[T]):
             return False
         node.values.add(value)
         self._count += 1
+        self._invalidate_match_cache()
         return True
 
     def remove(self, topic_filter: str, value: T) -> bool:
@@ -186,6 +204,7 @@ class TopicTrie(Generic[T]):
             return False
         node.values.discard(value)
         self._count -= 1
+        self._invalidate_match_cache()
         # Prune now-empty branches so long-lived brokers don't leak nodes as
         # clients churn through per-session role topics.
         for parent, level in reversed(path):
@@ -209,12 +228,26 @@ class TopicTrie(Generic[T]):
         return removed
 
     def match(self, topic: str) -> Set[T]:
-        """Return the set of values whose filters match the concrete ``topic``."""
+        """Return the set of values whose filters match the concrete ``topic``.
+
+        The returned set is a fresh copy the caller may mutate freely; the
+        memoized result is kept immutable inside the cache.
+        """
         validate_topic(topic)
+        cached = self._match_cache.get(topic)
+        if cached is not None:
+            self.match_cache_hits += 1
+            self._match_cache.move_to_end(topic)
+            return set(cached)
+        self.match_cache_misses += 1
         levels = split_topic(topic)
         results: Set[T] = set()
         first_is_dollar = bool(levels) and levels[0].startswith("$")
         self._match(self._root, levels, 0, results, first_is_dollar)
+        if self._match_cache_size > 0:
+            self._match_cache[topic] = frozenset(results)
+            if len(self._match_cache) > self._match_cache_size:
+                self._match_cache.popitem(last=False)
         return results
 
     def _match(
@@ -270,3 +303,4 @@ class TopicTrie(Generic[T]):
         """Remove all subscriptions."""
         self._root = _TrieNode()
         self._count = 0
+        self._invalidate_match_cache()

@@ -2,7 +2,10 @@
 
 The runtime drives a complete SDFLMQ deployment inside one process:
 
-* :class:`MessagePump` — round-robin pump over every MQTT client so the
+* :class:`EventScheduler` — time-ordered discrete-event kernel draining
+  deliveries from a heap keyed by ``(deliver_at, sequence)`` while advancing
+  the simulation clock;
+* :class:`MessagePump` — API-compatible facade over the scheduler so the
   publish/subscribe choreography progresses deterministically;
 * :class:`CriticalPathDelayModel` — converts one round's topology, device
   fleet and payload sizes into the simulated *total processing delay* the
@@ -13,6 +16,7 @@ The runtime drives a complete SDFLMQ deployment inside one process:
   metric and delay collection).
 """
 
+from repro.runtime.scheduler import EventScheduler
 from repro.runtime.pump import MessagePump
 from repro.runtime.delay import CriticalPathDelayModel, RoundDelayBreakdown
 from repro.runtime.experiment import (
@@ -23,6 +27,7 @@ from repro.runtime.experiment import (
 )
 
 __all__ = [
+    "EventScheduler",
     "MessagePump",
     "CriticalPathDelayModel",
     "RoundDelayBreakdown",

@@ -1,11 +1,14 @@
-"""Deterministic message pump.
+"""Deterministic message pump — a facade over the event-driven scheduler.
 
-With the in-process broker, published messages sit in each subscriber's inbox
-until that subscriber's ``loop()`` runs.  The pump sweeps all registered MQTT
-clients in a fixed order until no client has pending messages, which makes an
-entire multi-client choreography (session creation → clustering → uploads →
-hierarchical aggregation → global update) complete deterministically from a
-single ``pump.run_until_idle()`` call.
+Historically the pump swept all registered MQTT clients in round-robin
+registration order.  It is now a thin, API-compatible facade over
+:class:`~repro.runtime.scheduler.EventScheduler`: every sweep pulls the
+pending deliveries into a heap keyed by ``(deliver_at, sequence)`` and
+dispatches them in simulated-time order, so an entire multi-client
+choreography (session creation → clustering → uploads → hierarchical
+aggregation → global update) still completes deterministically from a single
+``pump.run_until_idle()`` call — but now in the order the network model says
+the messages actually arrive.
 """
 
 from __future__ import annotations
@@ -13,42 +16,86 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from repro.mqtt.client import MQTTClient
+from repro.runtime.scheduler import EventScheduler
 
 __all__ = ["MessagePump"]
 
 
 class MessagePump:
-    """Round-robin pump over a set of MQTT clients."""
+    """Time-ordered pump over a set of MQTT clients.
 
-    def __init__(self, clients: Optional[Iterable[MQTTClient]] = None, max_sweeps: int = 100_000) -> None:
-        self._clients: List[MQTTClient] = list(clients) if clients else []
-        self.max_sweeps = int(max_sweeps)
-        self.total_messages = 0
-        self.total_sweeps = 0
+    Parameters
+    ----------
+    clients:
+        Initial clients to register.
+    max_sweeps:
+        Bound on the number of sweeps before ``run_until_idle`` declares a
+        message loop.
+    clock:
+        Optional simulation clock, advanced to each delivery's ``deliver_at``
+        as messages are dispatched.
+    scheduler:
+        Optional pre-built :class:`EventScheduler` to drive; by default the
+        pump owns a private one.
+    """
+
+    def __init__(
+        self,
+        clients: Optional[Iterable[MQTTClient]] = None,
+        max_sweeps: Optional[int] = None,
+        clock: Optional[object] = None,
+        scheduler: Optional[EventScheduler] = None,
+    ) -> None:
+        if scheduler is None:
+            scheduler = EventScheduler(
+                clients, clock=clock, max_sweeps=100_000 if max_sweeps is None else max_sweeps
+            )
+        else:
+            # A pre-built scheduler keeps its own configuration unless the
+            # caller explicitly overrides it here.
+            if max_sweeps is not None:
+                scheduler.max_sweeps = int(max_sweeps)
+            if clock is not None:
+                scheduler.clock = clock
+            for client in clients or ():
+                scheduler.register(client)
+        self.scheduler = scheduler
+
+    @property
+    def max_sweeps(self) -> int:
+        """Sweep bound used by :meth:`run_until_idle` / :meth:`run_until`."""
+        return self.scheduler.max_sweeps
+
+    @max_sweeps.setter
+    def max_sweeps(self, value: int) -> None:
+        self.scheduler.max_sweeps = int(value)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages dispatched to callbacks since construction."""
+        return self.scheduler.messages_processed
+
+    @property
+    def total_sweeps(self) -> int:
+        """Sweeps executed since construction."""
+        return self.scheduler.sweeps
 
     def register(self, client: MQTTClient) -> None:
         """Add a client to the pump set (idempotent)."""
-        if client not in self._clients:
-            self._clients.append(client)
+        self.scheduler.register(client)
 
     def unregister(self, client: MQTTClient) -> None:
         """Remove a client from the pump set."""
-        if client in self._clients:
-            self._clients.remove(client)
+        self.scheduler.unregister(client)
 
     @property
     def clients(self) -> List[MQTTClient]:
         """The registered clients, in pump order."""
-        return list(self._clients)
+        return self.scheduler.clients
 
     def sweep(self) -> int:
-        """Process every client's inbox once; returns messages handled."""
-        processed = 0
-        for client in self._clients:
-            processed += client.loop()
-        self.total_sweeps += 1
-        self.total_messages += processed
-        return processed
+        """Process the currently pending deliveries once; returns messages handled."""
+        return self.scheduler.sweep()
 
     def run_until_idle(self) -> int:
         """Sweep until no client has pending messages; returns total handled.
@@ -56,29 +103,14 @@ class MessagePump:
         Raises ``RuntimeError`` if the system does not quiesce within
         ``max_sweeps`` sweeps (which would indicate a message loop).
         """
-        total = 0
-        for _ in range(self.max_sweeps):
-            processed = self.sweep()
-            total += processed
-            if processed == 0:
-                return total
-        raise RuntimeError(f"message pump did not quiesce within {self.max_sweeps} sweeps")
+        return self.scheduler.run_until_idle()
 
     def run_until(self, predicate: Callable[[], bool], max_sweeps: Optional[int] = None) -> bool:
         """Sweep until ``predicate()`` holds or the system quiesces.
 
         Returns True if the predicate was satisfied.
         """
-        limit = max_sweeps if max_sweeps is not None else self.max_sweeps
-        if predicate():
-            return True
-        for _ in range(limit):
-            processed = self.sweep()
-            if predicate():
-                return True
-            if processed == 0:
-                return predicate()
-        return predicate()
+        return self.scheduler.run_until(predicate, max_sweeps)
 
     def __call__(self) -> int:
         """Alias for :meth:`run_until_idle` so the pump can be passed as a callable."""

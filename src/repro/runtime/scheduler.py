@@ -1,0 +1,327 @@
+"""Event-driven delivery scheduler.
+
+The seed runtime processed messages with a round-robin sweep over client
+inboxes, which ignores the per-delivery ``deliver_at`` timestamps the broker
+already computes from :class:`~repro.mqtt.network.NetworkModel`.  The
+:class:`EventScheduler` replaces that with a classic discrete-event kernel: a
+min-heap keyed by ``(deliver_at, sequence)`` (with a monotonic enqueue counter
+as the final deterministic tiebreak) from which deliveries are drained in
+simulated-time order, advancing the :class:`~repro.sim.clock.SimulationClock`
+as it goes.
+
+Two ingestion paths feed the heap:
+
+* the *scheduling path*: a broker with a scheduler attached
+  (:meth:`attach_broker`) hands every delivery straight to
+  :meth:`schedule` instead of the subscriber's inbox, and
+* the *collection path*: records already sitting in registered clients'
+  inboxes (delivered before the scheduler was attached, or by a broker
+  without one) are pulled into the heap at the start of every sweep, so the
+  scheduler is a strict superset of the round-robin pump's behaviour.
+
+Besides deliveries the heap also holds *timed actions* (arbitrary callables
+registered with :meth:`call_at`), which is what the churn scenarios in
+:mod:`repro.sim.events` use to join/leave/reconnect clients at scheduled
+simulation times.
+
+:class:`~repro.runtime.pump.MessagePump` is a thin API-compatible facade over
+this class, so all existing choreography code keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
+
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.messages import DeliveryRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mqtt.broker import MQTTBroker
+
+__all__ = ["EventScheduler"]
+
+#: Heap payload kinds.  Actions sort before deliveries at the same instant via
+#: their sentinel sequence of -1 (real delivery sequences start at 1).
+_KIND_ACTION = 0
+_KIND_DELIVERY = 1
+
+#: Sequence sentinel used for timed actions so that churn events scheduled at
+#: time *t* are applied before any delivery due at *t*.
+_ACTION_SEQUENCE = -1
+
+
+class EventScheduler:
+    """Deterministic time-ordered delivery scheduler.
+
+    Parameters
+    ----------
+    clients:
+        Initial set of MQTT clients whose inboxes the scheduler collects from.
+    clock:
+        Optional :class:`~repro.sim.clock.SimulationClock`; advanced to each
+        event's due time as the heap drains (never rewound).
+    max_sweeps:
+        Safety bound for :meth:`run_until_idle` — a publish/reply loop that
+        never quiesces raises instead of spinning forever.
+    """
+
+    def __init__(
+        self,
+        clients: Optional[Iterable[MQTTClient]] = None,
+        clock: Optional[object] = None,
+        max_sweeps: int = 100_000,
+    ) -> None:
+        self._clients: List[MQTTClient] = list(clients) if clients else []
+        self.clock = clock
+        self.max_sweeps = int(max_sweeps)
+
+        # Heap entries: (due_time, sequence, enqueue_index, kind, payload).
+        # The enqueue index is unique, so comparison never reaches the payload
+        # and ties on (due_time, sequence) resolve in creation order.
+        self._heap: List[Tuple[float, int, int, int, object]] = []
+        self._enqueue_counter = itertools.count()
+        self._brokers: List["MQTTBroker"] = []
+
+        self.events_processed = 0
+        self.messages_processed = 0
+        self.actions_fired = 0
+        self.sweeps = 0
+        self.last_event_time = 0.0
+
+    # ------------------------------------------------------------------ time
+
+    def now(self) -> float:
+        """Current simulated time (falls back to the last event's due time)."""
+        if self.clock is not None:
+            return float(self.clock.now())
+        return self.last_event_time
+
+    def next_event_time(self) -> Optional[float]:
+        """Due time of the earliest pending event, or ``None`` when idle."""
+        self._collect()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    # ------------------------------------------------------------ membership
+
+    def register(self, client: MQTTClient) -> None:
+        """Add a client to the collection set (idempotent)."""
+        if client not in self._clients:
+            self._clients.append(client)
+
+    def unregister(self, client: MQTTClient) -> None:
+        """Remove a client from the collection set."""
+        if client in self._clients:
+            self._clients.remove(client)
+
+    @property
+    def clients(self) -> List[MQTTClient]:
+        """The registered clients, in registration order."""
+        return list(self._clients)
+
+    def attach_broker(self, broker: "MQTTBroker") -> None:
+        """Route ``broker``'s deliveries through this scheduler's heap."""
+        broker.attach_scheduler(self)
+        if broker not in self._brokers:
+            self._brokers.append(broker)
+
+    def detach_broker(self, broker: "MQTTBroker") -> None:
+        """Restore ``broker``'s direct inbox delivery."""
+        if broker in self._brokers:
+            self._brokers.remove(broker)
+        if broker.scheduler is self:
+            broker.attach_scheduler(None)
+
+    @property
+    def brokers(self) -> List["MQTTBroker"]:
+        """Brokers currently delivering through this scheduler."""
+        return list(self._brokers)
+
+    # -------------------------------------------------------------- ingestion
+
+    def schedule(self, target: object, record: DeliveryRecord) -> None:
+        """Enqueue one delivery for ``target`` (the broker's scheduling path)."""
+        heapq.heappush(
+            self._heap,
+            (
+                float(record.deliver_at),
+                int(record.sequence),
+                next(self._enqueue_counter),
+                _KIND_DELIVERY,
+                (target, record),
+            ),
+        )
+
+    def call_at(self, when: float, action: Callable[[], None]) -> float:
+        """Schedule ``action()`` to fire at simulated time ``when``.
+
+        Actions scheduled at the same instant as deliveries fire first, so a
+        churn event (e.g. a client leaving) takes effect before the messages
+        due at that time are dispatched.  Note that :meth:`run_until_idle`
+        runs to completion and therefore fast-forwards through future
+        actions; drive action-bearing timelines with :meth:`run_until_time`.
+        Returns the scheduled time.
+        """
+        when = float(when)
+        heapq.heappush(
+            self._heap,
+            (when, _ACTION_SEQUENCE, next(self._enqueue_counter), _KIND_ACTION, action),
+        )
+        return when
+
+    def _collect(self) -> int:
+        """Pull records sitting in registered clients' inboxes into the heap."""
+        collected = 0
+        for client in self._clients:
+            for record in client.take_pending():
+                self.schedule(client, record)
+                collected += 1
+        return collected
+
+    @property
+    def pending(self) -> int:
+        """Events in the heap plus uncollected inbox records."""
+        return len(self._heap) + sum(c.pending_messages for c in self._clients)
+
+    # ------------------------------------------------------------- processing
+
+    def _advance_clock(self, due: float) -> None:
+        if due > self.last_event_time:
+            self.last_event_time = due
+        if self.clock is not None:
+            self.clock.advance_to(due)
+
+    def _pop_and_fire(self) -> bool:
+        """Process the earliest event; returns True if a message callback ran.
+
+        QoS-2 duplicates that the client suppresses (and timed actions) do not
+        count as processed messages, mirroring ``MQTTClient.loop`` semantics.
+        """
+        due, _sequence, _index, kind, payload = heapq.heappop(self._heap)
+        self._advance_clock(due)
+        self.events_processed += 1
+        if kind == _KIND_ACTION:
+            payload()  # type: ignore[operator]
+            self.actions_fired += 1
+            return False
+        target, record = payload  # type: ignore[misc]
+        dispatch = getattr(target, "_dispatch", None)
+        if dispatch is not None:
+            handled = bool(dispatch(record))
+        else:  # plain DeliveryTarget: hand the record over untimed
+            target._deliver(record)
+            handled = True
+        if handled:
+            self.messages_processed += 1
+        return handled
+
+    def sweep(self) -> int:
+        """Process one batch of events; returns the messages handled.
+
+        The batch size is the number of events pending when the sweep starts;
+        events generated *during* the sweep are only drawn if they are due
+        earlier than the batch's remainder (the heap keeps global time order),
+        otherwise they wait for the next sweep — which is what bounds
+        non-quiescing publish loops, exactly like the round-robin pump's
+        one-loop-per-client sweep did.
+        """
+        self._collect()
+        budget = len(self._heap)
+        processed = 0
+        for _ in range(budget):
+            if not self._heap:
+                break
+            if self._pop_and_fire():
+                processed += 1
+        self.sweeps += 1
+        return processed
+
+    def run_until_idle(self) -> int:
+        """Drain events until nothing is pending; returns messages handled.
+
+        This is run-to-completion: *all* scheduled work — including timed
+        actions and deliveries due in the simulated future — executes in time
+        order, fast-forwarding the clock as it goes.  To stop at a horizon
+        (e.g. between scheduled churn events) use :meth:`run_until_time`
+        instead; a recurring self-re-arming action will never let this method
+        quiesce.
+
+        Raises ``RuntimeError`` if the system does not quiesce within
+        ``max_sweeps`` sweeps (which would indicate a message loop).
+        """
+        total = 0
+        for _ in range(self.max_sweeps):
+            processed = self.sweep()
+            total += processed
+            if processed == 0 and not self._heap and self._collect() == 0:
+                return total
+        raise RuntimeError(
+            f"event scheduler did not quiesce within {self.max_sweeps} sweeps"
+        )
+
+    def run_until(self, predicate: Callable[[], bool], max_sweeps: Optional[int] = None) -> bool:
+        """Drain events until ``predicate()`` holds or the system quiesces.
+
+        Returns True if the predicate was satisfied.
+        """
+        limit = max_sweeps if max_sweeps is not None else self.max_sweeps
+        if predicate():
+            return True
+        for _ in range(limit):
+            processed = self.sweep()
+            if predicate():
+                return True
+            if processed == 0 and not self._heap and self._collect() == 0:
+                return predicate()
+        return predicate()
+
+    def run_until_time(self, deadline: float, max_events: Optional[int] = None) -> int:
+        """Process every event due at or before ``deadline``; return the count.
+
+        Events due later stay in the heap, and the clock ends up exactly at
+        ``deadline`` — this is the primitive timed churn scenarios use to step
+        a simulation from one scheduled instant to the next.
+
+        A healthy simulation may process arbitrarily many events before the
+        deadline as long as simulated time advances; the loop guard
+        (``max_events``, default ``max_sweeps``) only trips when that many
+        events fire at a *single instant*, which indicates a zero-delay
+        publish/reply loop.
+        """
+        deadline = float(deadline)
+        limit = max_events if max_events is not None else self.max_sweeps
+        processed = 0
+        events_at_instant = 0
+        instant: Optional[float] = None
+        self._collect()
+        while True:
+            if not self._heap or self._heap[0][0] > deadline:
+                # Inboxes are only scanned at the drain boundaries, not once
+                # per event: with schedulers attached to every broker they
+                # are always empty, and records a handler deposited through a
+                # non-attached broker are swept up here before concluding.
+                if self._collect():
+                    continue
+                self._advance_clock(deadline)
+                return processed
+            due = self._heap[0][0]
+            if instant is None or due > instant:
+                instant = due
+                events_at_instant = 0
+            events_at_instant += 1
+            if events_at_instant > limit:
+                raise RuntimeError(
+                    f"event scheduler processed {limit} events at simulated time "
+                    f"{due} without the clock advancing (message loop?)"
+                )
+            if self._pop_and_fire():
+                processed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EventScheduler(pending={self.pending}, clients={len(self._clients)}, "
+            f"brokers={len(self._brokers)}, now={self.now():.6f})"
+        )

@@ -20,9 +20,12 @@ from repro.sim.clock import SimulationClock
 from repro.sim.device import DeviceProfile, DeviceStats, DeviceFleet, DEVICE_TIERS
 from repro.sim.costs import CostModel
 from repro.sim.resources import ResourceAccountant, MemoryOverflowEvent
-from repro.sim.events import EventLog, SimEvent
+from repro.sim.events import CHURN_ACTIONS, ChurnEvent, ChurnSchedule, EventLog, SimEvent
 
 __all__ = [
+    "CHURN_ACTIONS",
+    "ChurnEvent",
+    "ChurnSchedule",
     "SimulationClock",
     "DeviceProfile",
     "DeviceStats",

@@ -11,9 +11,9 @@ to debug: the log *is* the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["SimEvent", "EventLog"]
+__all__ = ["SimEvent", "EventLog", "ChurnEvent", "ChurnSchedule", "CHURN_ACTIONS"]
 
 
 @dataclass(frozen=True)
@@ -129,3 +129,116 @@ class EventLog:
     def clear(self) -> None:
         """Drop all recorded events."""
         self._events.clear()
+
+
+# --------------------------------------------------------------------- churn
+
+#: Churn actions a schedule may contain, in the order a device typically
+#: experiences them.
+CHURN_ACTIONS: Tuple[str, ...] = ("join", "leave", "reconnect")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled client lifecycle change.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the change takes effect.
+    action:
+        One of :data:`CHURN_ACTIONS` — ``join`` (a new client appears),
+        ``leave`` (a client drops, usually ungracefully) or ``reconnect``
+        (a previously dropped client comes back).
+    client_id:
+        The affected client.
+    detail:
+        Free-form annotation copied into the event log when the event fires.
+    """
+
+    time: float
+    action: str
+    client_id: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"churn event time must be non-negative, got {self.time}")
+        if self.action not in CHURN_ACTIONS:
+            raise ValueError(
+                f"unknown churn action {self.action!r}; expected one of {CHURN_ACTIONS}"
+            )
+
+
+class ChurnSchedule:
+    """A time-ordered plan of client join/leave/reconnect events.
+
+    The schedule is transport-agnostic: :meth:`bind` registers each event as a
+    timed action on an :class:`~repro.runtime.scheduler.EventScheduler`, with
+    the scenario supplying one handler per action kind.  Because the scheduler
+    fires actions *before* deliveries due at the same instant, a client that
+    leaves at time *t* never sees messages arriving at *t*.
+    """
+
+    def __init__(self, events: Optional[List[ChurnEvent]] = None) -> None:
+        self._events: List[ChurnEvent] = list(events) if events else []
+
+    def add(self, event: ChurnEvent) -> ChurnEvent:
+        """Append an event to the plan and return it."""
+        self._events.append(event)
+        return event
+
+    def join(self, time: float, client_id: str, detail: str = "") -> ChurnEvent:
+        """Schedule a client joining at ``time``."""
+        return self.add(ChurnEvent(time=float(time), action="join", client_id=client_id, detail=detail))
+
+    def leave(self, time: float, client_id: str, detail: str = "") -> ChurnEvent:
+        """Schedule a client dropping out at ``time``."""
+        return self.add(ChurnEvent(time=float(time), action="leave", client_id=client_id, detail=detail))
+
+    def reconnect(self, time: float, client_id: str, detail: str = "") -> ChurnEvent:
+        """Schedule a dropped client returning at ``time``."""
+        return self.add(ChurnEvent(time=float(time), action="reconnect", client_id=client_id, detail=detail))
+
+    @property
+    def events(self) -> List[ChurnEvent]:
+        """The planned events sorted by time (stable for equal times)."""
+        return sorted(self._events, key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    def bind(
+        self,
+        scheduler: "object",
+        handlers: Mapping[str, Callable[[ChurnEvent], None]],
+        event_log: Optional[EventLog] = None,
+    ) -> int:
+        """Register every planned event as a timed scheduler action.
+
+        ``handlers`` maps action names to callables invoked with the
+        :class:`ChurnEvent` when its time arrives; actions without a handler
+        raise immediately so a scenario cannot silently ignore planned churn.
+        Returns the number of actions registered.
+        """
+        missing = {e.action for e in self._events} - set(handlers)
+        if missing:
+            raise KeyError(f"no handler bound for churn action(s): {sorted(missing)}")
+        for event in self.events:
+            handler = handlers[event.action]
+
+            def fire(event: ChurnEvent = event, handler: Callable[[ChurnEvent], None] = handler) -> None:
+                handler(event)
+                if event_log is not None:
+                    event_log.record(
+                        timestamp=event.time,
+                        kind=f"churn_{event.action}",
+                        actor=event.client_id,
+                        detail=event.detail,
+                    )
+
+            scheduler.call_at(event.time, fire)
+        return len(self._events)

@@ -194,3 +194,39 @@ class TestParameterServer:
 
     def test_republish_returns_false_without_model(self, stack):
         assert stack["server"].republish("nothing") is False
+
+    def test_duplicate_store_for_same_round_is_ignored(self, stack, broker):
+        # Regression: a mid-round failure can race the coordinator's round
+        # restart against an aggregate already in flight, so the same round's
+        # global arrives twice.  The repository keeps exactly one global per
+        # round; the late copy must not mint a new version (that would poison
+        # the coordinator's rounds-vs-versions restart guard for the *next*
+        # failure) and must not be re-announced to clients.
+        server = stack["server"]
+        pump = stack["pump"]
+        mqtt = MQTTClient("root_agg2")
+        mqtt.connect(broker)
+        endpoint = FleetControlEndpoint(mqtt)
+        endpoint.start()
+        pump.register(mqtt)
+
+        def store(round_index, fill):
+            endpoint.call_topic(
+                global_store_topic("dup"), "store_global",
+                {"session_id": "dup", "round_index": round_index,
+                 "state": {"w": np.full((2, 2), float(fill))}, "num_contributors": 3},
+                expect_response=False,
+            )
+            pump.run_until_idle()
+
+        store(0, 1.0)
+        updates_after_first = server.updates_published
+        store(0, 9.0)  # restart-race duplicate for the stored round
+        assert server.record("dup").version == 1
+        assert server.duplicate_stores_ignored == 1
+        assert server.updates_published == updates_after_first
+        np.testing.assert_array_equal(server.record("dup").state["w"], np.full((2, 2), 1.0))
+
+        store(1, 2.0)  # the next round stores normally
+        assert server.record("dup").version == 2
+        assert server.record("dup").round_index == 1

@@ -147,3 +147,42 @@ class TestBridgeLoops:
         client_a = _attach(broker_a, "ca")
         client_a.publish("conf/x", b"retained", retain=True)
         assert broker_b.retained_message("conf/x").payload == b"retained"
+
+
+class TestBridgeDedupBound:
+    def test_100k_message_bridged_run_keeps_dedup_set_bounded(self):
+        # Regression: the (origin_broker, message_id) dedup set used to grow
+        # one entry per published message forever.  It is now an LRU ring
+        # bounded by max_bridge_dedup on every broker.
+        cap = 2_000
+        broker_a = MQTTBroker("region-a", max_bridge_dedup=cap)
+        broker_b = MQTTBroker("region-b", max_bridge_dedup=cap)
+        BrokerBridge(broker_a, broker_b)
+        publisher = _attach(broker_a, "pub")
+        sink = _attach(broker_b, "sink")
+        sink.subscribe("load/#")
+
+        total = 100_000
+        for index in range(total):
+            publisher.publish(f"load/{index % 16}", b"x")
+
+        assert broker_b.stats.bridged_in == total
+        assert sink.loop() == total
+        assert len(broker_a._seen_bridge_messages) <= cap
+        assert len(broker_b._seen_bridge_messages) <= cap
+
+    def test_dedup_still_prevents_loops_within_the_window(self, two_brokers):
+        broker_a, broker_b = two_brokers
+        BrokerBridge(broker_a, broker_b)
+        sink = _attach(broker_b, "sink")
+        sink.subscribe("#")
+        client_a = _attach(broker_a, "ca")
+        for _ in range(50):
+            client_a.publish("t", b"x")
+        # One bridged copy per publish — never a re-forwarded duplicate.
+        assert sink.loop() == 50
+        assert broker_b.stats.bridged_in == 50
+
+    def test_max_bridge_dedup_validated(self):
+        with pytest.raises(ValueError):
+            MQTTBroker("bad", max_bridge_dedup=0)

@@ -122,6 +122,22 @@ class TestRouting:
         # The broker routes per matching client (set semantics), not per filter.
         assert sub.loop() == 1
 
+    def test_overlapping_filters_with_different_qos_deliver_once_at_max(self, broker):
+        # Regression: overlapping filters at *different* granted QoS used to
+        # produce one delivery per (client, qos) pair; the client must receive
+        # the message exactly once, at the maximum granted QoS.
+        sub = _connect(broker, "sub")
+        sub.subscribe("a/#", QoS.AT_MOST_ONCE)
+        sub.subscribe("a/+", QoS.EXACTLY_ONCE)
+        sub.subscribe("a/b", QoS.AT_LEAST_ONCE)
+        deliveries = broker.publish(
+            MQTTMessage(topic="a/b", payload=b"x", qos=QoS.EXACTLY_ONCE, sender_id="pub")
+        )
+        assert len(deliveries) == 1
+        assert deliveries[0].effective_qos == QoS.EXACTLY_ONCE
+        assert sub.loop() == 1
+        assert broker.stats.messages_delivered == 1
+
     def test_unsubscribe_stops_delivery(self, broker):
         sub = _connect(broker, "sub")
         pub = _connect(broker, "pub")

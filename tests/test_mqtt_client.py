@@ -120,6 +120,23 @@ class TestQoS2Deduplication:
         sub.loop()
         assert len(received) == 1
 
+    def test_qos2_dedup_memory_is_bounded(self, broker, connected_clients):
+        # Regression: the exactly-once dedup keys used to accumulate forever;
+        # they are now an LRU ring bounded by max_qos2_dedup.
+        sub = connected_clients("sub", max_qos2_dedup=100)
+        sub.subscribe("t", QoS.EXACTLY_ONCE)
+        pub = connected_clients("pub")
+        for _ in range(1_000):
+            pub.publish("t", b"x", qos=QoS.EXACTLY_ONCE)
+        assert sub.loop() == 1_000
+        assert len(sub._delivered_qos2) <= 100
+        # Within the window, redelivery of a recent message is still suppressed.
+        message = MQTTMessage(topic="t", payload=b"x", qos=QoS.EXACTLY_ONCE, sender_id="ghost")
+        broker.publish(message)
+        sub._deliver(DeliveryRecord(message=message, subscriber_id="sub", subscription_filter="t",
+                                    effective_qos=QoS.EXACTLY_ONCE))
+        assert sub.loop() == 1
+
     def test_qos1_duplicates_are_delivered_twice(self, broker, connected_clients):
         sub = connected_clients("sub")
         received = []

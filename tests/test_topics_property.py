@@ -1,0 +1,108 @@
+"""Property-based randomized test for the routing core.
+
+The subscription trie (:class:`TopicTrie.match`) and the reference predicate
+(:func:`topic_matches_filter`) implement the same MQTT 3.1.1 matching rules
+through completely different code paths — a recursive prefix-tree walk with a
+``$``-guard versus a linear level scan.  This test generates hundreds of
+random topic/filter pairs — including ``+``/``#`` wildcards, ``$SYS``-style
+prefixes, empty levels and other edge segments — and asserts the two agree
+*exactly*, with the match cache enabled and across invalidations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mqtt.errors import InvalidTopicFilterError
+from repro.mqtt.topics import TopicTrie, topic_matches_filter, validate_topic_filter
+
+#: Level vocabulary skewed toward collisions so matches actually occur, with
+#: deliberate edge segments: empty levels, ``$``-prefixed levels, levels that
+#: differ only by case or by a ``$`` in a non-first position.
+LITERAL_LEVELS = ["a", "b", "ab", "sensor", "room1", "", "x", "A", "$SYS", "$internal", "sy$tem"]
+FILTER_LEVELS = LITERAL_LEVELS + ["+"]
+
+NUM_FILTERS = 120
+NUM_TOPICS = 500
+MAX_LEVELS = 4
+
+
+def _random_topic(rng: random.Random) -> str:
+    depth = rng.randint(1, MAX_LEVELS)
+    topic = "/".join(rng.choice(LITERAL_LEVELS) for _ in range(depth))
+    # validate_topic rejects the empty string but allows empty levels.
+    return topic if topic else "a"
+
+
+def _random_filter(rng: random.Random) -> str:
+    depth = rng.randint(1, MAX_LEVELS)
+    levels = [rng.choice(FILTER_LEVELS) for _ in range(depth)]
+    if rng.random() < 0.3:
+        levels.append("#")
+    candidate = "/".join(levels)
+    try:
+        validate_topic_filter(candidate)
+    except InvalidTopicFilterError:  # pragma: no cover - vocabulary is valid
+        return "+"
+    return candidate if candidate else "#"
+
+
+@pytest.fixture(scope="module")
+def random_universe():
+    rng = random.Random(20260728)
+    filters = sorted({_random_filter(rng) for _ in range(NUM_FILTERS)})
+    topics = [_random_topic(rng) for _ in range(NUM_TOPICS)]
+    return filters, topics
+
+
+class TestTrieMatchesReferencePredicate:
+    def test_trie_agrees_with_reference_on_random_pairs(self, random_universe):
+        filters, topics = random_universe
+        trie: TopicTrie[str] = TopicTrie()
+        for topic_filter in filters:
+            trie.insert(topic_filter, topic_filter)
+
+        for topic in topics:
+            expected = {f for f in filters if topic_matches_filter(topic, f)}
+            assert trie.match(topic) == expected, (
+                f"trie and reference disagree for topic {topic!r}"
+            )
+
+    def test_agreement_survives_cache_hits(self, random_universe):
+        filters, topics = random_universe
+        trie: TopicTrie[str] = TopicTrie()
+        for topic_filter in filters:
+            trie.insert(topic_filter, topic_filter)
+
+        # Query everything twice: the second pass is answered from the memo
+        # and must be byte-identical to the reference.
+        first = {topic: trie.match(topic) for topic in topics}
+        hits_before = trie.match_cache_hits
+        for topic in topics:
+            assert trie.match(topic) == first[topic]
+        assert trie.match_cache_hits > hits_before
+
+    def test_agreement_survives_incremental_removal(self, random_universe):
+        filters, topics = random_universe
+        rng = random.Random(7)
+        trie: TopicTrie[str] = TopicTrie()
+        alive = list(filters)
+        for topic_filter in alive:
+            trie.insert(topic_filter, topic_filter)
+
+        probe_topics = rng.sample(topics, 40)
+        while alive:
+            victim = alive.pop(rng.randrange(len(alive)))
+            assert trie.remove(victim, victim)
+            for topic in probe_topics:
+                expected = {f for f in alive if topic_matches_filter(topic, f)}
+                assert trie.match(topic) == expected
+
+    def test_mutating_a_returned_match_does_not_poison_the_cache(self):
+        trie: TopicTrie[str] = TopicTrie()
+        trie.insert("a/#", "wild")
+        result = trie.match("a/b")
+        result.add("injected")
+        assert trie.match("a/b") == {"wild"}
