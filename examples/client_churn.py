@@ -6,13 +6,17 @@ claimed by other workloads.  SDFLMQ learns about departures straight from the
 broker: every client publishes a retained ``online`` marker on its presence
 topic and registers an ``offline`` last-will, so when a device disappears
 without saying goodbye the broker fires the will and the coordinator
-immediately re-plans the aggregation topology for the survivors.  A client
-whose aggregator vanished forwards its buffered contributions to the new one,
-so the round still completes.
+immediately re-plans the aggregation topology for the survivors.
 
-This example runs 4 FL rounds with 8 clients and kills one client per round
-(including, in round 2, the root aggregator itself), printing the surviving
-topology and the global model accuracy after every round.
+This example used to wire the whole deployment by hand; it is now a thin
+wrapper over the declarative scenario engine: the plan below is a plain dict
+(the JSON-loadable ``ScenarioSpec`` format) that kills one client per round
+at scheduled simulated times and brings one of them back, and the
+:class:`~repro.scenarios.ScenarioRunner` compiles + executes it
+deterministically — the same spec and seed always reproduce the identical
+message timeline.  The ``heavy-churn`` registry entry
+(``python -m repro scenario run heavy-churn``) is the canonical sibling of
+this scenario.
 
 Run with::
 
@@ -21,104 +25,58 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
+from repro.scenarios import ScenarioRunner, ScenarioSpec
 
-from repro.core import Coordinator, CoordinatorConfig, ParameterServer, SDFLMQClient
-from repro.core.clustering import ClusteringConfig
-from repro.ml import (
-    ClassifierModel,
-    DataLoader,
-    iid_partition,
-    make_paper_mlp,
-    synthetic_digits,
-    SyntheticDigitsConfig,
-    train_test_split,
-)
-from repro.ml.optim import Adam
-from repro.mqtt import MQTTBroker
-from repro.runtime import MessagePump
-
-NUM_CLIENTS = 8
-FL_ROUNDS = 4
-SESSION = "churny_session"
+#: The churn plan, in the plain-dict form a JSON file would hold.  Times are
+#: simulated seconds; each round of this configuration spans roughly 1.5 s,
+#: so one device drops ungracefully in every round and the first casualty
+#: returns for the final round.
+SCENARIO = {
+    "name": "example-client-churn",
+    "description": "one device dies per round; the first casualty returns",
+    "seed": 21,
+    "fleet": {"num_clients": 8},
+    "training": {
+        "rounds": 4,
+        "local_epochs": 3,
+        "dataset_samples": 4000,
+        "client_data_fraction": 0.0625,
+        "round_deadline_s": 5.0,
+    },
+    "churn": [
+        {"time": 0.80, "action": "leave", "client_id": "client_007",
+         "detail": "battery died mid-round"},
+        {"time": 2.20, "action": "leave", "client_id": "client_006",
+         "detail": "claimed by another workload"},
+        {"time": 3.60, "action": "leave", "client_id": "client_005",
+         "detail": "moved out of range"},
+        {"time": 4.00, "action": "reconnect", "client_id": "client_007",
+         "detail": "battery swapped"},
+    ],
+}
 
 
 def main() -> None:
-    dataset = synthetic_digits(SyntheticDigitsConfig(num_samples=4000, seed=21))
-    train_set, test_set = train_test_split(dataset, test_fraction=0.2, rng=np.random.default_rng(0))
-    shards = [train_set.subset(p) for p in iid_partition(train_set, NUM_CLIENTS, rng=np.random.default_rng(1))]
+    spec = ScenarioSpec.from_dict(SCENARIO)
+    print(f"scenario {spec.name!r}: {spec.fleet.num_clients} clients, "
+          f"{spec.training.rounds} rounds, {len(spec.churn)} churn events\n")
 
-    broker = MQTTBroker("edge-broker")
-    pump = MessagePump()
-    coordinator = Coordinator(
-        broker,
-        config=CoordinatorConfig(
-            clustering=ClusteringConfig(policy="hierarchical", aggregator_fraction=0.3)
-        ),
-    )
-    server = ParameterServer(broker)
-    pump.register(coordinator.mqtt)
-    pump.register(server.mqtt)
+    result = ScenarioRunner().run(spec)
+    print(ScenarioRunner.format_rounds(result))
 
-    clients, models, optimizers = [], {}, {}
-    for index in range(NUM_CLIENTS):
-        client = SDFLMQClient(f"client_{index:03d}", broker=broker,
-                              preferred_role="trainer_aggregator", pump=pump.run_until_idle)
-        pump.register(client.mqtt)
-        clients.append(client)
-        network = make_paper_mlp(input_dim=train_set.num_features, num_classes=10, seed=42)
-        models[client.client_id] = ClassifierModel(network, name="mlp")
-        optimizers[client.client_id] = Adam(network, lr=1e-3)
+    experiment = result.experiment
+    coordinator = experiment.coordinator
+    print(f"\nclients dropped during the session : {coordinator.clients_dropped}")
+    print(f"clients re-admitted                : {result.clients_admitted}")
+    print(f"final connected participants       : {len(experiment.participants())}")
+    print(f"global model versions stored       : "
+          f"{experiment.parameter_server.record(experiment.config.session_id).version}")
+    print(f"final accuracy                     : {result.final_accuracy:.4f}")
 
-    clients[0].create_fl_session(session_id=SESSION, fl_rounds=FL_ROUNDS, model_name="mlp",
-                                 session_capacity_min=NUM_CLIENTS, session_capacity_max=NUM_CLIENTS)
-    for client, shard in zip(clients[1:], shards[1:]):
-        client.join_fl_session(session_id=SESSION, fl_rounds=FL_ROUNDS, model_name="mlp",
-                               num_samples=len(shard))
-    pump.run_until_idle()
-    for client, shard in zip(clients, shards):
-        client.set_model(SESSION, models[client.client_id], num_samples=len(shard))
-
-    alive = list(clients)
-    for round_index in range(FL_ROUNDS):
-        topology = coordinator.session(SESSION).topology
-        print(f"\nround {round_index + 1}: {len(alive)} clients alive, "
-              f"aggregators = {topology.aggregator_ids}")
-
-        # Local training + upload for everyone currently alive.
-        for client in alive:
-            shard = shards[clients.index(client)]
-            loader = DataLoader(shard, batch_size=32, shuffle=True,
-                                rng=np.random.default_rng(100 * round_index + clients.index(client)))
-            for _ in range(3):
-                models[client.client_id].train_epoch(loader, optimizers[client.client_id])
-            client.send_local(SESSION)
-
-        # One device dies ungracefully before the round finishes.  In round 2
-        # it is the root aggregator itself.
-        if len(alive) > 2:
-            victim = (
-                next(c for c in alive if c.client_id == topology.root_id)
-                if round_index == 1
-                else alive[-1]
-            )
-            print(f"  !! {victim.client_id} (role: {victim.role(SESSION).value}) drops out ungracefully")
-            victim.disconnect(unexpected=True)
-            alive.remove(victim)
-
-        pump.run_until_idle()
-        for client in alive:
-            client.wait_global_update(SESSION)
-            client.report_stats(SESSION)
-        pump.run_until_idle()
-
-        reference = models[alive[0].client_id]
-        print(f"  global accuracy after round {round_index + 1}: {reference.accuracy(test_set):.4f}")
-        print(f"  contributors remaining in session: "
-              f"{len(coordinator.session(SESSION).contributors)}")
-
-    print(f"\nglobal model versions stored: {server.record(SESSION).version}")
-    print(f"clients dropped during the session: {coordinator.clients_dropped}")
+    print("\nchurn timeline as the coordinator saw it:")
+    for event in experiment.event_log.filter(kind="churn_leave"):
+        print(f"  t={event.timestamp:6.2f}s  {event.actor} left ({event.detail})")
+    print(f"\nresult signature (same spec + seed => same bytes): {result.signature[:16]}")
 
 
 if __name__ == "__main__":

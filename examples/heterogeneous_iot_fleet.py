@@ -7,10 +7,12 @@ memory fluctuates as co-located workloads come and go, and the coordinator
 therefore has to move the aggregation role around from round to round
 (memory-aware load balancing) instead of pinning it to a fixed machine.
 
-The example uses the high-level :class:`repro.runtime.FLExperiment` harness
-and prints, per round, which devices acted as aggregators, how many clients
-had to be informed of a role change, the simulated round delay and the global
-model accuracy under a Dirichlet non-IID data split.
+The deployment is now described declaratively: a
+:class:`~repro.scenarios.ScenarioSpec` composes the fleet from a device-tier
+mix, picks the Dirichlet non-IID split and the memory-aware role policy, and
+the scenario engine compiles and runs it.  The printout shows, per round,
+which devices acted as aggregators, how many clients had to be informed of a
+role change, the simulated round delay and the global model accuracy.
 
 Run with::
 
@@ -20,29 +22,38 @@ Run with::
 from __future__ import annotations
 
 from repro.experiments.report import format_table
-from repro.runtime import ExperimentConfig, FLExperiment
+from repro.scenarios import (
+    FleetSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologySpec,
+    TrainingSpec,
+)
 
 
 def main() -> None:
-    config = ExperimentConfig(
-        name="heterogeneous-iot",
-        num_clients=10,
-        fl_rounds=5,
-        local_epochs=3,
-        dataset_samples=5000,
-        client_data_fraction=0.02,
-        partition="dirichlet",
-        dirichlet_alpha=0.5,
-        clustering_policy="hierarchical",
-        aggregator_fraction=0.3,
-        role_policy="memory_aware",
-        rebalance_every_round=True,
-        heterogeneous_devices=True,
-        memory_pressure=0.6,
+    spec = ScenarioSpec(
+        name="example-heterogeneous-iot",
+        description="tier-mixed fleet under memory pressure, memory-aware roles",
         seed=13,
+        fleet=FleetSpec(
+            num_clients=10,
+            tier_mix={"laptop": 0.35, "phone": 0.40, "rpi": 0.20, "server": 0.05},
+            memory_pressure=0.6,
+        ),
+        topology=TopologySpec(role_policy="memory_aware", rebalance_every_round=True),
+        training=TrainingSpec(
+            rounds=5,
+            local_epochs=3,
+            dataset_samples=5000,
+            client_data_fraction=0.02,
+            partition="dirichlet",
+            dirichlet_alpha=0.5,
+        ),
     )
-    experiment = FLExperiment(config)
-    experiment.setup()
+
+    result = ScenarioRunner().run(spec)
+    experiment = result.experiment
 
     print("device fleet:")
     for device_id in experiment.fleet.device_ids:
@@ -55,16 +66,15 @@ def main() -> None:
     print()
 
     rows = []
-    for round_index in range(config.fl_rounds):
-        result = experiment.run_round(round_index)
+    for round_result in result.rounds:
         rows.append(
             {
-                "round": round_index + 1,
-                "accuracy": result.test_accuracy,
-                "round_delay_s": result.delay.total_s,
-                "aggregators": ",".join(a.split("_")[-1] for a in result.aggregator_ids),
-                "roles_changed": result.roles_changed,
-                "overflow_events": result.overflow_events,
+                "round": round_result.round_index + 1,
+                "accuracy": round_result.test_accuracy,
+                "round_delay_s": round_result.delay.total_s,
+                "aggregators": ",".join(a.split("_")[-1] for a in round_result.aggregator_ids),
+                "roles_changed": round_result.roles_changed,
+                "overflow_events": round_result.overflow_events,
             }
         )
     print(format_table(rows, precision=3))

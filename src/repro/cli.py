@@ -7,6 +7,9 @@ Exposes the experiment harness without writing any Python::
     python -m repro ablation aggregator-fraction # run one of the ablation studies
     python -m repro run --clients 8 --rounds 3 --policy central
     python -m repro list                         # list available ablations
+    python -m repro scenario list                # named scenarios (churn/fault workloads)
+    python -m repro scenario run heavy-churn --seed 7
+    python -m repro scenario sweep --seeds 1 2 3
 
 All commands print the same plain-text tables the benchmark harness emits.
 """
@@ -14,6 +17,7 @@ All commands print the same plain-text tables the benchmark harness emits.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -22,6 +26,12 @@ from repro.experiments.fig7_accuracy import Fig7Config, run_fig7
 from repro.experiments.fig8_delay import Fig8Config, run_fig8
 from repro.experiments.report import format_series, format_table
 from repro.runtime.experiment import ExperimentConfig, FLExperiment
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    scenario_names,
+    scenario_summaries,
+)
 
 __all__ = ["main", "build_parser", "ABLATIONS"]
 
@@ -75,6 +85,40 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--heterogeneous", action="store_true")
     run.add_argument("--no-train", action="store_true", help="skip real training (delay-only runs)")
     run.add_argument("--seed", type=int, default=42)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenarios with churn + fault injection"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser("list", help="list the named scenario registry")
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one named scenario (or a JSON spec file) deterministically"
+    )
+    scenario_run.add_argument(
+        "name", nargs="?", default=None,
+        help="registry name (omit when using --spec)",
+    )
+    scenario_run.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load a ScenarioSpec from a JSON file instead of the registry",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="run a suite of named scenarios across seeds (one summary row each)"
+    )
+    scenario_sweep.add_argument(
+        "names", nargs="*", default=[],
+        help="scenario names (default: the whole registry)",
+    )
+    scenario_sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="seeds to sweep (default: each spec's own seed)",
+    )
     return parser
 
 
@@ -145,12 +189,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        print("Named scenarios (python -m repro scenario run <name>):\n")
+        print(format_table(scenario_summaries(), precision=2))
+        return 0
+
+    runner = ScenarioRunner()
+    if args.scenario_command == "run":
+        if args.spec is not None:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = ScenarioSpec.from_dict(json.load(handle))
+        elif args.name is not None:
+            if args.name not in scenario_names():
+                print(
+                    f"unknown scenario {args.name!r}; "
+                    f"available: {', '.join(scenario_names())}",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = args.name
+        else:
+            print("scenario run needs a name or --spec FILE", file=sys.stderr)
+            return 2
+        result = runner.run(spec, seed=args.seed)
+        print(f"Scenario: {result.spec.name} (seed {result.seed}) — "
+              f"{result.spec.description}\n")
+        print(ScenarioRunner.format_rounds(result))
+        print()
+        print(ScenarioRunner.format_summary([result]))
+        return 0
+
+    # sweep
+    names = args.names or scenario_names()
+    unknown = [n for n in names if n not in scenario_names()]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; "
+              f"available: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    results = runner.run_suite(names, seeds=args.seeds)
+    print(f"Scenario sweep: {len(results)} run(s)\n")
+    print(ScenarioRunner.format_summary(results))
+    return 0
+
+
 _COMMANDS = {
     "fig7": _cmd_fig7,
     "fig8": _cmd_fig8,
     "ablation": _cmd_ablation,
     "list": _cmd_list,
     "run": _cmd_run,
+    "scenario": _cmd_scenario,
 }
 
 

@@ -190,6 +190,29 @@ class Coordinator:
         )
         self._record("client_joined", join.session_id, detail=join.client_id)
         self._maybe_start(session)
+        if (
+            session.state == SessionState.RUNNING
+            and session.topology is not None
+            and join.client_id not in session.topology.client_ids
+        ):
+            # Late join into a running session (flash-crowd arrival, or a
+            # dropped client returning): fold the newcomer into the topology
+            # immediately — the mirror image of the offline re-plan — so it
+            # holds a role before the next round's uploads start.  Joins land
+            # at round boundaries (the scenario runner guarantees this), so no
+            # in-flight contributions are invalidated and no restart is needed.
+            result = self.load_balancer.plan(
+                session_id=session.session_id,
+                client_ids=session.contributors,
+                round_index=session.round_index,
+                stats=session.stats,
+                previous=session.topology,
+            )
+            session.topology = result.topology
+            self._send_assignments(result, session, only_changed=True)
+            self._announce_topology(session)
+            self._record("client_late_join", session.session_id, detail=join.client_id,
+                         round_index=session.round_index)
         return JoinAck(
             session_id=join.session_id, client_id=join.client_id, accepted=True, contributors=count
         ).to_dict()

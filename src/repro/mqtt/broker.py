@@ -438,6 +438,30 @@ class MQTTBroker:
         while len(seen) > self.max_bridge_dedup:
             seen.popitem(last=False)
 
+    def requeue_offline(self, record: DeliveryRecord) -> bool:
+        """Park an undeliverable in-flight record in the subscriber's offline queue.
+
+        Called by the event scheduler when a delivery comes due after its
+        target disconnected.  Only persistent (non-clean) sessions with
+        QoS > 0 records qualify — exactly the records a real broker would
+        retransmit on session resumption.  Returns True if the record was
+        queued.
+        """
+        session = self._sessions.get(record.subscriber_id)
+        if (
+            session is None
+            or session.connected
+            or session.clean_session
+            or record.effective_qos <= QoS.AT_MOST_ONCE
+        ):
+            return False
+        if len(session.offline_queue) >= self.max_offline_queue:
+            self.stats.messages_dropped += 1
+            return False
+        session.offline_queue.append(record)
+        self.stats.messages_queued_offline += 1
+        return True
+
     def attach_scheduler(self, scheduler: Optional["EventScheduler"]) -> None:
         """Route deliveries through ``scheduler`` (``None`` restores inboxes).
 

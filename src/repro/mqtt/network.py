@@ -182,6 +182,7 @@ class NetworkModel:
         self.broker_processing_s_per_byte = broker_processing_s_per_byte
         self.broker_processing_s_per_message = broker_processing_s_per_message
         self._links: Dict[str, LinkProfile] = {}
+        self._link_overrides: Dict[str, List[LinkProfile]] = {}
         self._rng = np.random.default_rng(seed)
 
     def set_link(self, client_id: str, profile: LinkProfile) -> None:
@@ -189,10 +190,87 @@ class NetworkModel:
         self._links[client_id] = profile
 
     def link_for(self, client_id: Optional[str]) -> LinkProfile:
-        """Return the link profile for ``client_id`` (default if unknown)."""
+        """Return the link profile for ``client_id`` (default if unknown).
+
+        An active override (fault-injection window) shadows the base profile.
+        """
         if client_id is None:
             return self.default_link
+        override = self._link_overrides.get(client_id)
+        if override:
+            return override[-1]
         return self._links.get(client_id, self.default_link)
+
+    # -------------------------------------------------------- fault injection
+
+    def push_link_override(self, client_id: str, profile: LinkProfile) -> None:
+        """Temporarily replace ``client_id``'s link (degradation window start).
+
+        Overrides stack, so nested/overlapping windows restore correctly when
+        popped in reverse order of application.
+        """
+        self._link_overrides.setdefault(client_id, []).append(profile)
+
+    def pop_link_override(self, client_id: str, profile: Optional[LinkProfile] = None) -> bool:
+        """Remove a link override; returns True if one existed.
+
+        With ``profile`` given, that exact pushed instance is removed wherever
+        it sits in the stack — which is what lets different fault windows
+        overlap on the same client and still restore correctly when they end
+        out of push order.  Without it, the most recent override is popped.
+        """
+        stack = self._link_overrides.get(client_id)
+        if not stack:
+            return False
+        if profile is None:
+            stack.pop()
+        else:
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is profile:
+                    del stack[index]
+                    break
+            else:
+                return False
+        if not stack:
+            del self._link_overrides[client_id]
+        return True
+
+    def degraded_profile(
+        self,
+        client_id: str,
+        bandwidth_factor: float = 1.0,
+        latency_add_s: float = 0.0,
+        jitter_add_s: float = 0.0,
+        loss_rate: Optional[float] = None,
+    ) -> LinkProfile:
+        """The client's *base* link with a degradation applied (not installed).
+
+        Computed against the base profile (ignoring any active overrides), so
+        overlapping degradation windows stay independent of each other: the
+        most recently opened window wins while both are active, and closing
+        either restores exactly what the other describes.
+        """
+        require_positive(bandwidth_factor, "bandwidth_factor")
+        require_positive(latency_add_s, "latency_add_s", strict=False)
+        require_positive(jitter_add_s, "jitter_add_s", strict=False)
+        base = self._links.get(client_id, self.default_link)
+        return LinkProfile(
+            latency_s=base.latency_s + latency_add_s,
+            bandwidth_bps=base.bandwidth_bps * bandwidth_factor,
+            jitter_s=base.jitter_s + jitter_add_s,
+            loss_rate=base.loss_rate if loss_rate is None else loss_rate,
+        )
+
+    def scale_broker_processing(self, factor: float) -> None:
+        """Multiply the broker's per-message/per-byte processing cost by ``factor``.
+
+        A factor above 1 models a broker slowdown window (CPU contention,
+        co-located workload); scaling by ``1 / factor`` afterwards restores
+        the original cost exactly.
+        """
+        require_positive(factor, "factor")
+        self.broker_processing_s_per_byte *= factor
+        self.broker_processing_s_per_message *= factor
 
     def broker_processing_time(self, payload_bytes: int) -> float:
         """Broker-side processing time for routing one message."""

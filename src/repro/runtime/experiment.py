@@ -29,6 +29,7 @@ from repro.core.coordinator import Coordinator, CoordinatorConfig
 from repro.core.parameter_server import ParameterServer
 from repro.core.role_optimizers import get_policy
 from repro.core.session import SessionState
+from repro.core.topics import SDFLMQ_ROOT
 from repro.ml.data import ArrayDataset, DataLoader, train_test_split
 from repro.ml.datasets import SyntheticDigitsConfig, synthetic_digits
 from repro.ml.models import ClassifierModel, make_paper_mlp
@@ -88,6 +89,7 @@ class ExperimentConfig:
     # Devices
     device_tier: str = "laptop"
     heterogeneous_devices: bool = False
+    tier_mix: Optional[Dict[str, float]] = None
     memory_pressure: float = 0.0
     device_memory_override_bytes: Optional[int] = None
     # Transport
@@ -99,6 +101,16 @@ class ExperimentConfig:
     seed: int = 42
     session_id: str = "session_01"
     model_name: str = "mlp"
+    # Scenario hooks.  ``initial_clients`` (default: all) is how many clients
+    # connect and join the session during setup; the rest are provisioned
+    # (dataset, model, optimizer) but stay offline until a scenario admits
+    # them (flash-crowd joins).  ``round_deadline_s`` switches the round drain
+    # from run-to-completion to time-driven checkpoints: uploads still in
+    # flight at the deadline are cut off and their senders dropped from the
+    # round, exactly like a straggler missing a synchronization barrier.
+    initial_clients: Optional[int] = None
+    round_deadline_s: Optional[float] = None
+    record_delivery_trace: bool = False
 
     def __post_init__(self) -> None:
         require_positive(self.num_clients, "num_clients")
@@ -118,6 +130,21 @@ class ExperimentConfig:
         require_positive(self.proximal_mu, "proximal_mu", strict=False)
         if self.device_memory_override_bytes is not None:
             require_positive(self.device_memory_override_bytes, "device_memory_override_bytes")
+        if self.tier_mix is not None:
+            from repro.sim.device import DEVICE_TIERS
+
+            unknown = set(self.tier_mix) - set(DEVICE_TIERS)
+            if unknown:
+                raise ValueError(f"unknown tiers in tier_mix: {sorted(unknown)}")
+        if self.initial_clients is not None:
+            require_positive(self.initial_clients, "initial_clients")
+            if self.initial_clients > self.num_clients:
+                raise ValueError(
+                    f"initial_clients ({self.initial_clients}) cannot exceed "
+                    f"num_clients ({self.num_clients})"
+                )
+        if self.round_deadline_s is not None:
+            require_positive(self.round_deadline_s, "round_deadline_s")
 
 
 @dataclass
@@ -134,6 +161,8 @@ class RoundResult:
     roles_changed: int
     overflow_events: int
     aggregator_ids: List[str] = field(default_factory=list)
+    participants: int = 0
+    stragglers_cut: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict row (used by the benchmark tables)."""
@@ -209,6 +238,9 @@ class FLExperiment:
         self.test_set: ArrayDataset
         self.delay_model: CriticalPathDelayModel
         self.cost_model: CostModel = cost_model or CostModel()
+        self._client_brokers: Dict[str, MQTTBroker] = {}
+        self.stragglers_cut_total = 0
+        self.clients_admitted = 0
 
     # -------------------------------------------------------------- datasets
 
@@ -260,7 +292,14 @@ class FLExperiment:
         self.event_log = EventLog()
         self.resources = ResourceAccountant()
 
-        if config.heterogeneous_devices:
+        if config.tier_mix is not None:
+            self.fleet = DeviceFleet.heterogeneous(
+                config.num_clients,
+                tier_mix=dict(config.tier_mix),
+                prefix="client",
+                seed=self.seeds.seed("fleet"),
+            )
+        elif config.heterogeneous_devices:
             self.fleet = DeviceFleet.heterogeneous(
                 config.num_clients, prefix="client", seed=self.seeds.seed("fleet")
             )
@@ -297,8 +336,10 @@ class FLExperiment:
         # Event-driven runtime: every broker hands its deliveries to a shared
         # time-ordered scheduler, which advances the simulation clock to each
         # record's ``deliver_at`` as the choreography drains.
-        self.pump = MessagePump(clock=self.clock)
-        self.scheduler = self.pump.scheduler
+        self.scheduler = EventScheduler(
+            clock=self.clock, record_trace=config.record_delivery_trace
+        )
+        self.pump = MessagePump(scheduler=self.scheduler)
         for broker in self.brokers:
             self.scheduler.attach_broker(broker)
 
@@ -321,11 +362,16 @@ class FLExperiment:
         self.pump.register(self.parameter_server.mqtt)
 
         compression = CompressionConfig(enabled=config.compression_enabled)
+        initial = config.initial_clients or config.num_clients
         for index in range(config.num_clients):
             client_id = self._client_id(index)
+            broker = self.brokers[index % len(self.brokers)]
+            self._client_brokers[client_id] = broker
             client = SDFLMQClient(
                 client_id,
-                broker=self.brokers[index % len(self.brokers)],
+                # Latent clients (index >= initial) are provisioned but stay
+                # offline until a scenario admits them via admit_client().
+                broker=broker if index < initial else None,
                 preferred_role="trainer_aggregator",
                 aggregation=config.aggregation,
                 compression=compression,
@@ -348,17 +394,19 @@ class FLExperiment:
                 network, lr=config.learning_rate, proximal_mu=config.proximal_mu
             )
 
-        # Establish the session: the first client creates it, the rest join.
+        # Establish the session: the first client creates it, the rest of the
+        # initial cohort join.  The capacity window [initial, num_clients]
+        # leaves room for latent clients to flash-crowd in mid-session.
         creator = self.clients[0]
         creator.create_fl_session(
             session_id=config.session_id,
             fl_rounds=config.fl_rounds,
             model_name=config.model_name,
-            session_capacity_min=config.num_clients,
+            session_capacity_min=initial,
             session_capacity_max=config.num_clients,
             aggregation=config.aggregation,
         )
-        for client in self.clients[1:]:
+        for client in self.clients[1:initial]:
             client.join_fl_session(
                 session_id=config.session_id,
                 fl_rounds=config.fl_rounds,
@@ -369,12 +417,18 @@ class FLExperiment:
 
         session = self.coordinator.session(config.session_id)
         if session.state != SessionState.RUNNING:
-            raise RuntimeError(
-                f"session failed to start: state={session.state.value!r}, "
-                f"contributors={len(session.contributors)}/{config.num_clients}"
-            )
+            # With latent clients the session has quorum but is not full, so
+            # auto-start never fires; start it explicitly.
+            if session.state == SessionState.READY:
+                self.coordinator.start_session(config.session_id)
+                self.pump.run_until_idle()
+            if session.state != SessionState.RUNNING:
+                raise RuntimeError(
+                    f"session failed to start: state={session.state.value!r}, "
+                    f"contributors={len(session.contributors)}/{initial}"
+                )
 
-        for client in self.clients:
+        for client in self.clients[:initial]:
             client.set_model(
                 config.session_id,
                 self.client_models[client.client_id],
@@ -413,7 +467,12 @@ class FLExperiment:
         return float(np.mean(losses))
 
     def run_round(self, round_index: int) -> RoundResult:
-        """Execute one complete FL round and return its metrics."""
+        """Execute one complete FL round and return its metrics.
+
+        Clients that are disconnected (crashed by a fault plan, cut off at a
+        previous deadline, or still latent) simply sit the round out; the
+        round runs over the currently connected session participants.
+        """
         config = self.config
         session_id = config.session_id
         session = self.coordinator.session(session_id)
@@ -429,21 +488,38 @@ class FLExperiment:
         messages_before = self._total_messages_published()
         overflow_before = self.resources.overflow_count()
         roles_before = self.coordinator.role_messages_sent
+        cut_before = self.stragglers_cut_total
 
+        # Fire timed actions the analytic clock advance jumped over (a fault
+        # window opening between rounds must degrade *this* round's uploads).
+        self.scheduler.run_until_time(self.clock.now())
+
+        participants = self.participants()
+        if not participants:
+            raise RuntimeError(f"round {round_index}: no connected session participants")
         train_losses: Dict[str, float] = {}
-        for client in self.clients:
+        for client in participants:
             train_losses[client.client_id] = self._train_client(client.client_id)
             client.send_local(session_id)
-        self.pump.run_until_idle()
+        if config.round_deadline_s is not None:
+            self._drain_round_deadline(session_id)
+        else:
+            self.pump.run_until_idle()
 
-        for client in self.clients:
+        # Re-filter: a participant may have crashed or been cut off while the
+        # round's messages drained.
+        for client in self.participants():
             client.wait_global_update(session_id)
 
         # Evaluate the freshly synchronized global model on the held-out set.
-        reference = self.client_models[self.clients[0].client_id]
+        survivors = self.participants()
+        if not survivors:
+            raise RuntimeError(f"round {round_index}: every participant dropped mid-round")
+        reference_client = survivors[0]
+        reference = self.client_models[reference_client.client_id]
         evaluation = reference.evaluate(self.test_set)
 
-        payload_bytes = self.clients[0].models.record(session_id).payload_nbytes
+        payload_bytes = reference_client.models.record(session_id).payload_nbytes
         num_parameters = reference.num_parameters
         available_memory = {
             cid: self.fleet.stats(cid).available_memory_bytes for cid in self.fleet.device_ids
@@ -465,9 +541,12 @@ class FLExperiment:
         self.clock.advance(delay.total_s)
 
         mean_loss = float(np.mean(list(train_losses.values()))) if train_losses else 0.0
-        for client in self.clients:
+        for client in survivors:
             client.report_stats(session_id, train_loss=train_losses.get(client.client_id, 0.0))
-        self.pump.run_until_idle()
+        if config.round_deadline_s is not None:
+            self._drain_round_boundary(session_id, round_index)
+        else:
+            self.pump.run_until_idle()
         self._last_roles_changed = self.coordinator.role_messages_sent - roles_before
 
         # The scheduler advanced the clock to every delivery's ``deliver_at``
@@ -486,9 +565,155 @@ class FLExperiment:
             roles_changed=self._last_roles_changed,
             overflow_events=self.resources.overflow_count() - overflow_before,
             aggregator_ids=list(topology.aggregator_ids),
+            participants=len(participants),
+            stragglers_cut=self.stragglers_cut_total - cut_before,
         )
 
     _last_roles_changed: int = 0
+
+    # -------------------------------------------------- scenario churn hooks
+
+    def client_by_id(self, client_id: str) -> SDFLMQClient:
+        """Look up one of the experiment's clients by id."""
+        for client in self.clients:
+            if client.client_id == client_id:
+                return client
+        raise KeyError(f"unknown client id {client_id!r}")
+
+    def participants(self) -> List[SDFLMQClient]:
+        """Connected clients that are currently in the session."""
+        session_id = self.config.session_id
+        return [
+            c for c in self.clients
+            if c.mqtt.connected and session_id in c.sessions()
+        ]
+
+    def crash_client(self, client_id: str) -> None:
+        """Ungracefully disconnect a client (its last-will fires).
+
+        The coordinator notices through the broker, removes the client from
+        the session, re-plans the topology and — mid-round — restarts the
+        round for the survivors, exactly as in the churn examples.
+        """
+        self.client_by_id(client_id).disconnect(unexpected=True)
+
+    def admit_client(self, client_id: str) -> None:
+        """Connect a latent or previously crashed client and (re)join the session.
+
+        Must be called at a round boundary (between :meth:`run_round` calls):
+        the coordinator folds the newcomer into the topology immediately, so
+        admitting mid-round would leave an aggregator waiting for an upload
+        that never comes.
+        """
+        config = self.config
+        client = self.client_by_id(client_id)
+        if client.mqtt.connected:
+            return
+        client.connect(self._client_brokers[client_id])
+        # Suppress the client's auto-pump during the join handshake: a full
+        # run_until_idle would fast-forward through fault/churn actions
+        # scheduled later on the timeline.
+        pump_fn, client.pump = client.pump, None
+        try:
+            client.join_fl_session(
+                session_id=config.session_id,
+                fl_rounds=config.fl_rounds,
+                model_name=config.model_name,
+                num_samples=len(self.client_datasets[client_id]),
+            )
+        finally:
+            client.pump = pump_fn
+        if not client.models.has_model(config.session_id):
+            client.set_model(
+                config.session_id,
+                self.client_models[client_id],
+                num_samples=len(self.client_datasets[client_id]),
+            )
+        self._drain_control(config.session_id)
+        self.clients_admitted += 1
+
+    # ---------------------------------------------------- deadline-driven rounds
+
+    def _round_complete(self, session_id: str) -> bool:
+        """Whether every connected participant has this round's global model."""
+        waiting = False
+        for client in self.participants():
+            if not client.models.has_model(session_id):
+                continue
+            participation = client.participation(session_id)
+            if client.models.global_version(session_id) < participation.awaited_global_version:
+                return False
+            waiting = True
+        return waiting
+
+    def _drain_round_deadline(self, session_id: str) -> None:
+        """Drive the round with ``run_until_time`` checkpoints.
+
+        The round gets ``round_deadline_s`` of simulated time; uploads still
+        in flight at the deadline are cancelled and their senders dropped
+        from the session (the straggler cut-off), after which the survivors'
+        restarted round drains to completion.  Timed fault/churn actions
+        scheduled inside the window fire at their exact simulated times
+        instead of being fast-forwarded.
+        """
+        config = self.config
+        done = lambda: self._round_complete(session_id)  # noqa: E731
+        deadline = self.clock.now() + float(config.round_deadline_s or 0.0)
+        self.scheduler.run_until_time(deadline, stop_when=done)
+        if done():
+            return
+        self._cutoff_stragglers(session_id)
+        self.scheduler.run_until_quiet()
+        if not done():
+            raise RuntimeError(
+                "round did not complete after the deadline straggler cut-off"
+            )
+
+    def _cutoff_stragglers(self, session_id: str) -> List[str]:
+        """Cut off clients whose uploads are still in flight at the deadline."""
+        prefix = f"{SDFLMQ_ROOT}/session/{session_id}/aggregator/"
+        in_flight = sorted(
+            {
+                record.message.sender_id
+                for record in self.scheduler.pending_deliveries()
+                if record.message.sender_id and record.message.topic.startswith(prefix)
+            }
+        )
+        cut: List[str] = []
+        for client_id in in_flight:
+            try:
+                client = self.client_by_id(client_id)
+            except KeyError:
+                continue  # an infrastructure sender, not one of ours
+            if not client.mqtt.connected:
+                continue
+            # The late upload vanishes from the network, then the sender is
+            # dropped: its last-will triggers the coordinator's re-plan and
+            # round restart for the survivors.
+            self.scheduler.cancel_deliveries(
+                lambda record, cid=client_id: (
+                    record.message.sender_id == cid
+                    and record.message.topic.startswith(prefix)
+                )
+            )
+            client.disconnect(unexpected=True)
+            cut.append(client_id)
+        self.stragglers_cut_total += len(cut)
+        return cut
+
+    def _drain_round_boundary(self, session_id: str, round_index: int) -> None:
+        """Settle the post-round stats/rebalance traffic without fast-forwarding."""
+        session = self.coordinator.session(session_id)
+        self.scheduler.run_until_quiet()
+        if session.round_index <= round_index and session.is_active:
+            raise RuntimeError(f"round {round_index} failed to advance after stats reports")
+
+    def _drain_control(self, session_id: str) -> None:
+        """Drain control-plane handshakes (join acks, role sets)."""
+        if self.config.round_deadline_s is None:
+            self.pump.run_until_idle()
+        else:
+            self.scheduler.run_until_quiet()
 
     def _total_traffic_bytes(self) -> int:
         """Payload bytes routed across all regional brokers."""

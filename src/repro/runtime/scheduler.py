@@ -30,9 +30,10 @@ this class, so all existing choreography code keeps working unchanged.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.mqtt.client import MQTTClient
 from repro.mqtt.messages import DeliveryRecord
@@ -65,6 +66,17 @@ class EventScheduler:
     max_sweeps:
         Safety bound for :meth:`run_until_idle` — a publish/reply loop that
         never quiesces raises instead of spinning forever.
+    fifo_per_connection:
+        Model per-connection in-order delivery (MQTT runs over TCP): each
+        delivery's ``deliver_at`` is clamped to the previous in-flight
+        delivery of the same (sender, receiver) pair, so a small message can
+        never overtake a large earlier one on the same logical connection.
+    record_trace:
+        Maintain a running SHA-256 digest over every dispatched delivery
+        (topic, sender, receiver, due time).  Two runs of the same scenario
+        with the same seed must produce identical digests — the scenario
+        determinism tests pin exactly that.  Off by default (costs a hash
+        update per message).
     """
 
     def __init__(
@@ -72,22 +84,32 @@ class EventScheduler:
         clients: Optional[Iterable[MQTTClient]] = None,
         clock: Optional[object] = None,
         max_sweeps: int = 100_000,
+        fifo_per_connection: bool = True,
+        record_trace: bool = False,
     ) -> None:
         self._clients: List[MQTTClient] = list(clients) if clients else []
         self.clock = clock
         self.max_sweeps = int(max_sweeps)
+        self.fifo_per_connection = bool(fifo_per_connection)
 
         # Heap entries: (due_time, sequence, enqueue_index, kind, payload).
         # The enqueue index is unique, so comparison never reaches the payload
         # and ties on (due_time, sequence) resolve in creation order.
         self._heap: List[Tuple[float, int, int, int, object]] = []
+        self._heap_deliveries = 0
         self._enqueue_counter = itertools.count()
         self._brokers: List["MQTTBroker"] = []
+        # Latest scheduled deliver_at per (sender, receiver) logical connection.
+        self._fifo_tails: Dict[Tuple[Optional[str], str], float] = {}
+        self._trace = hashlib.sha256() if record_trace else None
 
         self.events_processed = 0
         self.messages_processed = 0
         self.actions_fired = 0
         self.sweeps = 0
+        self.deliveries_dropped = 0
+        self.deliveries_requeued = 0
+        self.deliveries_cancelled = 0
         self.last_event_time = 0.0
 
     # ------------------------------------------------------------------ time
@@ -144,6 +166,15 @@ class EventScheduler:
 
     def schedule(self, target: object, record: DeliveryRecord) -> None:
         """Enqueue one delivery for ``target`` (the broker's scheduling path)."""
+        if self.fifo_per_connection:
+            # Per-connection FIFO: a delivery never arrives before an earlier
+            # one from the same sender to the same receiver, mirroring MQTT's
+            # in-order guarantee over a single TCP connection.
+            key = (record.message.sender_id, record.subscriber_id)
+            tail = self._fifo_tails.get(key)
+            if tail is not None and record.deliver_at < tail:
+                record.deliver_at = tail
+            self._fifo_tails[key] = record.deliver_at
         heapq.heappush(
             self._heap,
             (
@@ -154,6 +185,7 @@ class EventScheduler:
                 (target, record),
             ),
         )
+        self._heap_deliveries += 1
 
     def call_at(self, when: float, action: Callable[[], None]) -> float:
         """Schedule ``action()`` to fire at simulated time ``when``.
@@ -186,6 +218,64 @@ class EventScheduler:
         """Events in the heap plus uncollected inbox records."""
         return len(self._heap) + sum(c.pending_messages for c in self._clients)
 
+    def pending_deliveries(self) -> List[DeliveryRecord]:
+        """In-flight delivery records, ordered by ``(deliver_at, sequence)``.
+
+        The scenario runner uses this to identify stragglers at a round
+        deadline: any sender with an upload still in flight is late.
+        """
+        records = [
+            entry[4][1]  # type: ignore[index]
+            for entry in self._heap
+            if entry[3] == _KIND_DELIVERY
+        ]
+        return sorted(records, key=lambda r: (r.deliver_at, r.sequence))
+
+    def cancel_deliveries(self, predicate: Callable[[DeliveryRecord], bool]) -> int:
+        """Remove in-flight deliveries matching ``predicate``; return the count.
+
+        Timed actions are never cancelled.  This is how a deadline-driven
+        round cuts off a straggler's late uploads: the messages vanish from
+        the network rather than arriving after the round moved on.
+        """
+        kept: List[Tuple[float, int, int, int, object]] = []
+        cancelled = 0
+        cancelled_pairs = set()
+        for entry in self._heap:
+            if entry[3] == _KIND_DELIVERY and predicate(entry[4][1]):  # type: ignore[index]
+                record = entry[4][1]  # type: ignore[index]
+                cancelled_pairs.add((record.message.sender_id, record.subscriber_id))
+                cancelled += 1
+            else:
+                kept.append(entry)
+        if cancelled:
+            heapq.heapify(kept)
+            self._heap = kept
+            self._heap_deliveries -= cancelled
+            self.deliveries_cancelled += cancelled
+            # Rebuild the FIFO tails of the affected connections from what is
+            # still in flight, so a cancelled far-future delivery (a cut-off
+            # straggler's upload) cannot clamp that pair's future traffic.
+            for pair in cancelled_pairs:
+                self._fifo_tails.pop(pair, None)
+            for entry in kept:
+                if entry[3] != _KIND_DELIVERY:
+                    continue
+                record = entry[4][1]  # type: ignore[index]
+                pair = (record.message.sender_id, record.subscriber_id)
+                if pair in cancelled_pairs:
+                    tail = self._fifo_tails.get(pair)
+                    if tail is None or record.deliver_at > tail:
+                        self._fifo_tails[pair] = record.deliver_at
+        return cancelled
+
+    @property
+    def trace_digest(self) -> Optional[str]:
+        """Hex digest of the delivery trace (``None`` unless ``record_trace``)."""
+        if self._trace is None:
+            return None
+        return self._trace.hexdigest()
+
     # ------------------------------------------------------------- processing
 
     def _advance_clock(self, due: float) -> None:
@@ -207,7 +297,25 @@ class EventScheduler:
             payload()  # type: ignore[operator]
             self.actions_fired += 1
             return False
+        self._heap_deliveries -= 1
         target, record = payload  # type: ignore[misc]
+        # A client that disconnected after the broker routed this delivery but
+        # before its deliver_at never receives it.  QoS>0 records destined for
+        # a persistent session are requeued in the broker's offline queue (they
+        # replay on reconnect); everything else is dropped, as on a real
+        # broker where the TCP connection died mid-flight.
+        if getattr(target, "connected", True) is False:
+            if self._requeue_offline(record):
+                self.deliveries_requeued += 1
+            else:
+                self.deliveries_dropped += 1
+            return False
+        if self._trace is not None:
+            message = record.message
+            self._trace.update(
+                f"{message.topic}|{message.sender_id}|{record.subscriber_id}"
+                f"|{record.deliver_at:.9f}|{record.sequence}\n".encode()
+            )
         dispatch = getattr(target, "_dispatch", None)
         if dispatch is not None:
             handled = bool(dispatch(record))
@@ -217,6 +325,13 @@ class EventScheduler:
         if handled:
             self.messages_processed += 1
         return handled
+
+    def _requeue_offline(self, record: DeliveryRecord) -> bool:
+        """Try to park an undeliverable record in a persistent offline queue."""
+        for broker in self._brokers:
+            if broker.requeue_offline(record):
+                return True
+        return False
 
     def sweep(self) -> int:
         """Process one batch of events; returns the messages handled.
@@ -278,12 +393,60 @@ class EventScheduler:
                 return predicate()
         return predicate()
 
-    def run_until_time(self, deadline: float, max_events: Optional[int] = None) -> int:
+    def run_until_quiet(self, max_events: Optional[int] = None) -> int:
+        """Drain every pending *delivery* without fast-forwarding future actions.
+
+        Events are processed in time order until no delivery remains in the
+        heap or the registered inboxes; timed actions that come due before the
+        last pending delivery fire as usual (and may spawn further deliveries,
+        which are chased too), but actions scheduled beyond that point stay in
+        the heap.  This is the drain primitive for round boundaries in
+        deadline-driven experiments: the control-plane traffic (stats, role
+        assignments, broadcasts) settles completely while fault and churn
+        actions planned for later simulated times keep their exact firing
+        times.
+
+        Returns the number of message callbacks run.  The single-instant loop
+        guard from :meth:`run_until_time` applies.
+        """
+        limit = max_events if max_events is not None else self.max_sweeps
+        processed = 0
+        events_at_instant = 0
+        instant: Optional[float] = None
+        self._collect()
+        while self._heap_deliveries > 0:
+            due = self._heap[0][0]
+            if instant is None or due > instant:
+                instant = due
+                events_at_instant = 0
+            events_at_instant += 1
+            if events_at_instant > limit:
+                raise RuntimeError(
+                    f"event scheduler processed {limit} events at simulated time "
+                    f"{due} without the clock advancing (message loop?)"
+                )
+            if self._pop_and_fire():
+                processed += 1
+            if self._heap_deliveries == 0:
+                self._collect()
+        return processed
+
+    def run_until_time(
+        self,
+        deadline: float,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Process every event due at or before ``deadline``; return the count.
 
         Events due later stay in the heap, and the clock ends up exactly at
         ``deadline`` — this is the primitive timed churn scenarios use to step
         a simulation from one scheduled instant to the next.
+
+        ``stop_when`` (checked after every processed event) ends the drain
+        early, leaving the clock at the last event's due time instead of
+        fast-forwarding to the deadline — deadline-driven FL rounds use it to
+        stop the moment the round's global update has landed everywhere.
 
         A healthy simulation may process arbitrarily many events before the
         deadline as long as simulated time advances; the loop guard
@@ -297,6 +460,8 @@ class EventScheduler:
         events_at_instant = 0
         instant: Optional[float] = None
         self._collect()
+        if stop_when is not None and stop_when():
+            return 0
         while True:
             if not self._heap or self._heap[0][0] > deadline:
                 # Inboxes are only scanned at the drain boundaries, not once
@@ -319,6 +484,8 @@ class EventScheduler:
                 )
             if self._pop_and_fire():
                 processed += 1
+            if stop_when is not None and stop_when():
+                return processed
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

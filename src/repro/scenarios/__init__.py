@@ -1,0 +1,59 @@
+"""Declarative scenario engine with fault injection.
+
+This package turns the event-driven runtime into a scenario *library*: a
+:class:`ScenarioSpec` (a plain dataclass tree, loadable from dict/JSON)
+describes fleet composition, broker topology, link conditions, a churn
+timeline and a fault-injection plan; the compiler wires it into a live
+:class:`~repro.runtime.experiment.FLExperiment`; the runner executes it
+deterministically (same spec + seed ⇒ identical delivery order, final model
+state and result signature) and reports per-scenario metric rows.
+
+* :mod:`repro.scenarios.spec` — the declarative specification tree,
+* :mod:`repro.scenarios.faults` — timed fault execution on the scheduler,
+* :mod:`repro.scenarios.compiler` — spec → wired experiment,
+* :mod:`repro.scenarios.registry` — named built-ins (``baseline``,
+  ``heavy-churn``, ``straggler-heavy``, ``degraded-wan``,
+  ``bridged-multi-region``, ``flash-crowd``),
+* :mod:`repro.scenarios.runner` — deterministic execution + reporting.
+"""
+
+from repro.scenarios.compiler import CompiledScenario, build_experiment_config, compile_scenario
+from repro.scenarios.faults import FaultInjector
+from repro.scenarios.registry import (
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_summaries,
+)
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.spec import (
+    FAULT_KINDS,
+    FaultSpec,
+    FleetSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    TopologySpec,
+    TrainingSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CompiledScenario",
+    "FaultInjector",
+    "FaultSpec",
+    "FleetSpec",
+    "NetworkSpec",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "TopologySpec",
+    "TrainingSpec",
+    "build_experiment_config",
+    "compile_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "scenario_summaries",
+]

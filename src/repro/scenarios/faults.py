@@ -1,0 +1,160 @@
+"""Fault injection on the event scheduler.
+
+:class:`FaultInjector` compiles a scenario's :class:`~repro.scenarios.spec.FaultSpec`
+plan into timed actions (``EventScheduler.call_at``), so faults interleave
+with in-flight message deliveries in strict simulated-time order:
+
+* ``broker_slowdown`` scales the shared :class:`~repro.mqtt.network.NetworkModel`'s
+  per-message/per-byte processing cost for the window;
+* ``link_degradation`` / ``client_slow`` push a degraded
+  :class:`~repro.mqtt.network.LinkProfile` override onto the targeted
+  clients' links and pop it when the window closes;
+* ``client_crash`` ungracefully disconnects the targets (their last-will
+  fires, the coordinator re-plans the survivors) and, with ``rejoin=True``,
+  queues them for re-admission at the first round boundary after the outage.
+
+Every transition is recorded in the experiment's
+:class:`~repro.sim.events.EventLog` as ``fault_start`` / ``fault_end``, so
+the trace shows exactly when each fault took effect.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.scenarios.spec import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.experiment import FLExperiment
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Binds a fault plan onto an experiment's event scheduler."""
+
+    def __init__(self, experiment: "FLExperiment", faults: Sequence[FaultSpec]) -> None:
+        self.experiment = experiment
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+        self.faults_started = 0
+        self.faults_ended = 0
+        self.crashes_injected = 0
+        #: (due_time, client_id) pairs awaiting re-admission at a round boundary.
+        self._pending_rejoins: List[Tuple[float, str]] = []
+        #: The exact profile instances each degradation window pushed, keyed by
+        #: the fault's position in the plan, so overlapping windows on the same
+        #: client restore correctly when they end out of push order.
+        self._pushed_profiles: dict = {}
+        self._bound = False
+
+    # ------------------------------------------------------------------ bind
+
+    def bind(self) -> int:
+        """Register every fault as timed scheduler actions; returns the count.
+
+        Safe to call once per injector; the scenario compiler does this right
+        after ``FLExperiment.setup()`` so the whole plan sits in the heap
+        before the first round drains.
+        """
+        if self._bound:
+            raise RuntimeError("fault plan is already bound to the scheduler")
+        self._bound = True
+        scheduler = self.experiment.scheduler
+        for fault in self.faults:
+            if fault.kind == "broker_slowdown":
+                scheduler.call_at(fault.start_s, lambda f=fault: self._start_slowdown(f))
+                scheduler.call_at(fault.end_s, lambda f=fault: self._end_slowdown(f))
+            elif fault.kind in ("link_degradation", "client_slow"):
+                scheduler.call_at(fault.start_s, lambda f=fault: self._start_degradation(f))
+                scheduler.call_at(fault.end_s, lambda f=fault: self._end_degradation(f))
+            else:  # client_crash
+                scheduler.call_at(fault.start_s, lambda f=fault: self._crash(f))
+        return len(self.faults)
+
+    def due_rejoins(self, now: float) -> List[str]:
+        """Pop the clients whose post-crash outage ended by ``now``.
+
+        The scenario runner calls this at every round boundary and re-admits
+        the returned clients via ``FLExperiment.admit_client`` (re-admission
+        mid-round would leave an aggregator waiting on a missing upload).
+        """
+        due = sorted(
+            (when, cid) for when, cid in self._pending_rejoins if when <= now
+        )
+        self._pending_rejoins = [
+            (when, cid) for when, cid in self._pending_rejoins if when > now
+        ]
+        return [cid for _, cid in due]
+
+    # -------------------------------------------------------------- handlers
+
+    def _log(self, kind: str, fault: FaultSpec, detail: str) -> None:
+        self.experiment.event_log.record(
+            timestamp=self.experiment.clock.now(),
+            kind=kind,
+            actor=fault.kind,
+            detail=detail or fault.detail,
+        )
+
+    def _start_slowdown(self, fault: FaultSpec) -> None:
+        self.experiment.network.scale_broker_processing(fault.factor)
+        self.faults_started += 1
+        self._log("fault_start", fault, f"broker processing x{fault.factor}")
+
+    def _end_slowdown(self, fault: FaultSpec) -> None:
+        self.experiment.network.scale_broker_processing(1.0 / fault.factor)
+        self.faults_ended += 1
+        self._log("fault_end", fault, "broker processing restored")
+
+    def _targets(self, fault: FaultSpec) -> Tuple[str, ...]:
+        if fault.clients:
+            return fault.clients
+        return tuple(self.experiment.fleet.device_ids)
+
+    def _start_degradation(self, fault: FaultSpec) -> None:
+        network = self.experiment.network
+        pushed = {}
+        for client_id in self._targets(fault):
+            profile = network.degraded_profile(
+                client_id,
+                bandwidth_factor=fault.factor,
+                latency_add_s=fault.latency_add_s,
+            )
+            network.push_link_override(client_id, profile)
+            pushed[client_id] = profile
+        self._pushed_profiles[id(fault)] = pushed
+        self.faults_started += 1
+        self._log(
+            "fault_start",
+            fault,
+            f"links degraded x{fault.factor} for {len(self._targets(fault))} client(s)",
+        )
+
+    def _end_degradation(self, fault: FaultSpec) -> None:
+        network = self.experiment.network
+        pushed = self._pushed_profiles.pop(id(fault), {})
+        for client_id, profile in pushed.items():
+            network.pop_link_override(client_id, profile)
+        self.faults_ended += 1
+        self._log("fault_end", fault, "links restored")
+
+    def _crash(self, fault: FaultSpec) -> None:
+        crashed = []
+        for client_id in self._targets(fault):
+            client = self.experiment.client_by_id(client_id)
+            if not client.mqtt.connected:
+                continue  # already gone (churn/cut-off); don't resurrect it
+            self.experiment.crash_client(client_id)
+            self.crashes_injected += 1
+            crashed.append(client_id)
+            if fault.rejoin:
+                self._pending_rejoins.append((fault.end_s, client_id))
+        self.faults_started += 1
+        self.faults_ended += 1
+        self._log("fault_start", fault, f"crashed {','.join(crashed) or '(nobody)'}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FaultInjector(faults={len(self.faults)}, started={self.faults_started}, "
+            f"pending_rejoins={len(self._pending_rejoins)})"
+        )

@@ -1,0 +1,199 @@
+"""Named scenario registry.
+
+The built-ins cover the workload families the ROADMAP asks for — a control
+run, churn-dominated fleets, stragglers under deadlines, degraded WANs,
+bridged multi-region deployments and flash-crowd arrivals — each small
+enough to run in CI in seconds.  All of them are plain
+:class:`~repro.scenarios.spec.ScenarioSpec` values: ``get_scenario`` hands
+back a fresh spec, so callers can ``with_seed``/``dataclasses.replace``
+without affecting the registry.
+
+Event times are *simulated* seconds on the experiment timeline (rounds for
+these small models span a few hundred simulated milliseconds each; the
+degraded-WAN scenario stretches that to seconds).
+
+Register custom scenarios with :func:`register_scenario`, or skip the
+registry entirely and feed :class:`ScenarioSpec` values (e.g. loaded from
+JSON via ``ScenarioSpec.from_dict``) straight to the runner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.scenarios.spec import (
+    FaultSpec,
+    FleetSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrainingSpec,
+)
+from repro.sim.events import ChurnEvent
+
+__all__ = ["get_scenario", "register_scenario", "scenario_names", "scenario_summaries"]
+
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register_scenario(builder: Callable[[], ScenarioSpec], name: str = "") -> str:
+    """Add a scenario builder to the registry; returns the registered name.
+
+    The builder is called once immediately to validate the spec and pin the
+    name (``name`` overrides the spec's own).  Re-registering a name replaces
+    the previous builder.
+    """
+    spec = builder()
+    registered = name or spec.name
+    _REGISTRY[registered] = builder
+    return registered
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Return a fresh spec for ``name``; raises ``KeyError`` with the options."""
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        )
+    return builder()
+
+
+def scenario_summaries() -> List[Dict[str, object]]:
+    """One row per registered scenario (the ``scenario list`` table)."""
+    rows: List[Dict[str, object]] = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        rows.append(
+            {
+                "name": name,
+                "clients": spec.fleet.num_clients,
+                "rounds": spec.training.rounds,
+                "regions": spec.topology.regions,
+                "churn_events": len(spec.churn),
+                "faults": len(spec.faults),
+                "description": spec.description,
+            }
+        )
+    return rows
+
+
+# ------------------------------------------------------------------ built-ins
+
+
+def _baseline() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="baseline",
+        description="control run: stable laptop fleet, no churn, no faults",
+        seed=42,
+        fleet=FleetSpec(num_clients=6),
+        training=TrainingSpec(rounds=3),
+    )
+
+
+def _heavy_churn() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="heavy-churn",
+        description="clients crash every round (incl. via fault plan) and return",
+        seed=42,
+        fleet=FleetSpec(num_clients=8),
+        training=TrainingSpec(rounds=4, round_deadline_s=5.0),
+        churn=(
+            ChurnEvent(time=0.60, action="leave", client_id="client_007",
+                       detail="battery died mid-round"),
+            ChurnEvent(time=1.00, action="leave", client_id="client_006",
+                       detail="moved out of range"),
+            ChurnEvent(time=1.20, action="reconnect", client_id="client_007",
+                       detail="battery swapped"),
+        ),
+        faults=(
+            FaultSpec(kind="client_crash", start_s=0.30, duration_s=0.40,
+                      clients=("client_005",), rejoin=True,
+                      detail="process OOM-killed, container restarts"),
+        ),
+    )
+
+
+def _straggler_heavy() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="straggler-heavy",
+        description="slow-link windows push uploads past the round deadline",
+        seed=42,
+        fleet=FleetSpec(
+            num_clients=8,
+            tier_mix={"laptop": 0.4, "phone": 0.4, "rpi": 0.2},
+        ),
+        topology=TopologySpec(role_policy="memory_aware"),
+        training=TrainingSpec(rounds=4, round_deadline_s=0.35),
+        churn=(
+            ChurnEvent(time=2.0, action="reconnect", client_id="client_002",
+                       detail="congestion cleared, device returns"),
+        ),
+        faults=(
+            FaultSpec(kind="client_slow", start_s=1.0, duration_s=1.2,
+                      clients=("client_002", "client_005"), factor=0.02,
+                      latency_add_s=0.05,
+                      detail="background sync saturates the uplink"),
+        ),
+    )
+
+
+def _degraded_wan() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="degraded-wan",
+        description="high-latency lossy WAN plus a broker slowdown window",
+        seed=42,
+        fleet=FleetSpec(num_clients=6),
+        network=NetworkSpec(latency_scale=50.0, bandwidth_scale=0.05,
+                            jitter_s=0.01, loss_rate=0.02),
+        training=TrainingSpec(rounds=3, round_deadline_s=30.0),
+        faults=(
+            FaultSpec(kind="broker_slowdown", start_s=1.5, duration_s=3.0,
+                      factor=500.0, detail="co-located batch job on the broker host"),
+            FaultSpec(kind="link_degradation", start_s=6.5, duration_s=2.5,
+                      clients=("client_001", "client_004"), factor=0.2,
+                      latency_add_s=0.25, detail="cross-traffic on the last mile"),
+        ),
+    )
+
+
+def _bridged_multi_region() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bridged-multi-region",
+        description="three bridged regional brokers, clients spread round-robin",
+        seed=42,
+        fleet=FleetSpec(num_clients=9),
+        topology=TopologySpec(regions=3),
+        training=TrainingSpec(rounds=3),
+    )
+
+
+def _flash_crowd() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="flash-crowd",
+        description="half the fleet joins mid-session in one burst",
+        seed=42,
+        fleet=FleetSpec(num_clients=10, initial_clients=5),
+        training=TrainingSpec(rounds=4, round_deadline_s=5.0),
+        churn=tuple(
+            ChurnEvent(time=0.40, action="join", client_id=f"client_{index:03d}",
+                       detail="flash-crowd arrival")
+            for index in range(5, 10)
+        ),
+    )
+
+
+for _builder in (
+    _baseline,
+    _heavy_churn,
+    _straggler_heavy,
+    _degraded_wan,
+    _bridged_multi_region,
+    _flash_crowd,
+):
+    register_scenario(_builder)

@@ -1,0 +1,191 @@
+"""Deterministic execution of declarative scenarios.
+
+:class:`ScenarioRunner` takes a :class:`~repro.scenarios.spec.ScenarioSpec`
+(or a registry name), compiles it, and drives the experiment round by round —
+admitting flash-crowd joiners and post-crash rejoiners at round boundaries —
+then condenses the run into metric rows rendered through
+:mod:`repro.experiments.report`.
+
+Every result carries a *signature*: a SHA-256 over the scheduler's delivery
+trace (every dispatched message's topic, endpoints and due time) and the
+final global model parameters.  Two runs of the same spec with the same seed
+must produce byte-identical signatures — that is the determinism contract
+the scenario tests and the CLI acceptance check pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.runtime.experiment import FLExperiment, RoundResult
+from repro.scenarios.compiler import CompiledScenario, compile_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioResult", "ScenarioRunner"]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    spec: ScenarioSpec
+    seed: int
+    rounds: List[RoundResult] = field(default_factory=list)
+    signature: str = ""
+    clients_dropped: int = 0
+    clients_admitted: int = 0
+    stragglers_cut: int = 0
+    faults_started: int = 0
+    messages_processed: int = 0
+    deliveries_dropped: int = 0
+    total_traffic_bytes: int = 0
+    final_sim_time_s: float = 0.0
+    #: The executed experiment, for post-hoc inspection (fleet, event log,
+    #: resource high-water marks).  Excluded from equality/repr noise.
+    experiment: Optional[FLExperiment] = field(default=None, repr=False, compare=False)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Test accuracy after the last completed round (0.0 if none ran)."""
+        return self.rounds[-1].test_accuracy if self.rounds else 0.0
+
+    @property
+    def total_delay_s(self) -> float:
+        """Summed analytic round delays."""
+        return float(sum(r.delay.total_s for r in self.rounds))
+
+    def round_rows(self) -> List[Dict[str, object]]:
+        """Per-round metric rows (rendered by ``format_table``)."""
+        rows: List[Dict[str, object]] = []
+        for result in self.rounds:
+            rows.append(
+                {
+                    "round": result.round_index,
+                    "participants": result.participants,
+                    "accuracy": result.test_accuracy,
+                    "round_delay_s": result.delay.total_s,
+                    "messaging_s": result.delay.messaging_s,
+                    "messages": result.messages_routed,
+                    "traffic_bytes": result.traffic_bytes,
+                    "roles_changed": result.roles_changed,
+                    "stragglers_cut": result.stragglers_cut,
+                }
+            )
+        return rows
+
+    def summary_row(self) -> Dict[str, object]:
+        """One-line summary row (the ``scenario sweep`` table format)."""
+        return {
+            "scenario": self.spec.name,
+            "seed": self.seed,
+            "rounds": len(self.rounds),
+            "final_accuracy": self.final_accuracy,
+            "total_delay_s": self.total_delay_s,
+            "sim_time_s": self.final_sim_time_s,
+            "messages": self.messages_processed,
+            "traffic_bytes": self.total_traffic_bytes,
+            "dropped": self.clients_dropped,
+            "admitted": self.clients_admitted,
+            "cut": self.stragglers_cut,
+            "faults": self.faults_started,
+            "signature": self.signature[:12],
+        }
+
+
+class ScenarioRunner:
+    """Runs one scenario, or a named suite, deterministically."""
+
+    def run(
+        self, scenario: Union[str, ScenarioSpec], seed: Optional[int] = None
+    ) -> ScenarioResult:
+        """Compile and execute ``scenario`` (a spec or a registry name).
+
+        ``seed`` overrides the spec's seed, so one spec sweeps cleanly over
+        seeds.  The same (spec, seed) pair always yields an identical
+        delivery order, final model state, and therefore signature.
+        """
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        if seed is not None:
+            spec = spec.with_seed(seed)
+        compiled = compile_scenario(spec)
+        experiment = compiled.experiment
+
+        rounds: List[RoundResult] = []
+        session = experiment.coordinator.session(experiment.config.session_id)
+        for round_index in range(spec.training.rounds):
+            for client_id in compiled.due_admissions(experiment.clock.now()):
+                experiment.admit_client(client_id)
+            if not session.is_active:
+                break
+            rounds.append(experiment.run_round(round_index))
+
+        result = ScenarioResult(
+            spec=spec,
+            seed=spec.seed,
+            rounds=rounds,
+            signature=self._signature(compiled),
+            clients_dropped=experiment.coordinator.clients_dropped,
+            clients_admitted=experiment.clients_admitted,
+            stragglers_cut=experiment.stragglers_cut_total,
+            faults_started=compiled.injector.faults_started,
+            messages_processed=experiment.scheduler.messages_processed,
+            deliveries_dropped=experiment.scheduler.deliveries_dropped,
+            total_traffic_bytes=experiment._total_traffic_bytes(),
+            final_sim_time_s=float(experiment.clock.now()),
+            experiment=experiment,
+        )
+        return result
+
+    def run_suite(
+        self,
+        names: Sequence[str],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[ScenarioResult]:
+        """Run every (scenario, seed) combination; returns the results in order.
+
+        Suite results drop their ``experiment`` handle — a sweep only reads
+        the metric rows, and keeping every deployment (datasets, per-client
+        models, brokers) alive would grow memory linearly with the sweep.
+        """
+        results: List[ScenarioResult] = []
+        for name in names:
+            for seed in seeds if seeds is not None else (None,):
+                result = self.run(name, seed=seed)
+                result.experiment = None
+                results.append(result)
+        return results
+
+    # -------------------------------------------------------------- rendering
+
+    @staticmethod
+    def format_rounds(result: ScenarioResult, precision: int = 4) -> str:
+        """Per-round table for one scenario run."""
+        return format_table(result.round_rows(), precision=precision)
+
+    @staticmethod
+    def format_summary(results: Sequence[ScenarioResult], precision: int = 4) -> str:
+        """Summary table over several runs (one row each)."""
+        return format_table([r.summary_row() for r in results], precision=precision)
+
+    # -------------------------------------------------------------- signature
+
+    @staticmethod
+    def _signature(compiled: CompiledScenario) -> str:
+        """Hash the delivery trace and the final global model parameters."""
+        experiment = compiled.experiment
+        digest = hashlib.sha256()
+        trace = experiment.scheduler.trace_digest
+        digest.update((trace or "no-trace").encode())
+        survivors = experiment.participants()
+        if survivors:
+            state = experiment.client_models[survivors[0].client_id].network.parameters()
+            for key in sorted(state):
+                digest.update(key.encode())
+                digest.update(np.ascontiguousarray(state[key]).tobytes())
+        return digest.hexdigest()

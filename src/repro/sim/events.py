@@ -169,6 +169,31 @@ class ChurnEvent:
                 f"unknown churn action {self.action!r}; expected one of {CHURN_ACTIONS}"
             )
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (the scenario spec's JSON representation)."""
+        return {
+            "time": float(self.time),
+            "action": self.action,
+            "client_id": self.client_id,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ChurnEvent":
+        """Inverse of :meth:`as_dict`; raises ``ValueError`` on bad fields."""
+        unknown = set(data) - {"time", "action", "client_id", "detail"}
+        if unknown:
+            raise ValueError(f"unknown churn event field(s): {sorted(unknown)}")
+        try:
+            return cls(
+                time=float(data["time"]),  # type: ignore[arg-type]
+                action=str(data["action"]),
+                client_id=str(data["client_id"]),
+                detail=str(data.get("detail", "")),
+            )
+        except KeyError as exc:
+            raise ValueError(f"churn event missing required field {exc}") from exc
+
 
 class ChurnSchedule:
     """A time-ordered plan of client join/leave/reconnect events.

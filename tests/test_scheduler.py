@@ -343,3 +343,196 @@ class TestChurnDeterminism:
         assert set(state_a) == set(state_b)
         for key in state_a:
             assert np.array_equal(state_a[key], state_b[key])
+
+
+class TestDisconnectedDeliveries:
+    """Deliveries whose target disconnected before their ``deliver_at``."""
+
+    def test_clean_session_delivery_is_dropped(self):
+        broker, scheduler, clock = _timed_broker([0.100])
+        client = MQTTClient("c0")
+        client.connect(broker)
+        client.subscribe("bus")
+        received = []
+        client.on_message = lambda _c, m: received.append(m.payload)
+        scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+
+        publisher.publish("bus", b"late", qos=QoS.AT_LEAST_ONCE)
+        client.disconnect()  # before the 100 ms delivery comes due
+        scheduler.run_until_idle()
+
+        assert received == []
+        assert scheduler.deliveries_dropped == 1
+        assert scheduler.deliveries_requeued == 0
+
+    def test_persistent_session_delivery_requeues_and_replays(self):
+        broker, scheduler, clock = _timed_broker([0.100])
+        client = MQTTClient("c0", clean_session=False)
+        client.connect(broker)
+        client.subscribe("bus", QoS.AT_LEAST_ONCE)
+        received = []
+        client.on_message = lambda _c, m: received.append(bytes(m.payload))
+        scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+
+        publisher.publish("bus", b"hold", qos=QoS.AT_LEAST_ONCE)
+        client.disconnect()
+        scheduler.run_until_idle()
+        assert received == []
+        assert scheduler.deliveries_requeued == 1
+
+        client.connect(broker)  # persistent session resumes → backlog replays
+        scheduler.run_until_idle()
+        assert received == [b"hold"]
+
+    def test_qos0_persistent_session_delivery_is_dropped(self):
+        broker, scheduler, clock = _timed_broker([0.100])
+        client = MQTTClient("c0", clean_session=False)
+        client.connect(broker)
+        client.subscribe("bus", QoS.AT_MOST_ONCE)
+        scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+
+        publisher.publish("bus", b"x")
+        client.disconnect()
+        scheduler.run_until_idle()
+        assert scheduler.deliveries_dropped == 1
+        assert scheduler.deliveries_requeued == 0
+
+
+class TestPerConnectionFifo:
+    """A small message must not overtake a big earlier one on the same pair."""
+
+    def _run(self, fifo):
+        clock = SimulationClock()
+        network = NetworkModel(seed=0)
+        # Slow link: a large payload takes much longer than a tiny one.
+        network.set_link("sub", LinkProfile(latency_s=0.001, bandwidth_bps=1e4))
+        broker = MQTTBroker("fifo", network=network, clock=clock)
+        scheduler = EventScheduler(clock=clock, fifo_per_connection=fifo)
+        scheduler.attach_broker(broker)
+        subscriber = MQTTClient("sub")
+        subscriber.connect(broker)
+        subscriber.subscribe("bus")
+        order = []
+        subscriber.on_message = lambda _c, m: order.append(bytes(m.payload))
+        scheduler.register(subscriber)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+        publisher.publish("bus", b"L" * 5000)  # ~0.5 s transfer
+        publisher.publish("bus", b"s")         # ~1 ms transfer
+        scheduler.run_until_idle()
+        return order
+
+    def test_fifo_clamp_preserves_send_order(self):
+        assert self._run(fifo=True) == [b"L" * 5000, b"s"]
+
+    def test_without_fifo_small_message_overtakes(self):
+        assert self._run(fifo=False) == [b"s", b"L" * 5000]
+
+    def test_clamp_applies_per_connection_not_globally(self):
+        clock = SimulationClock()
+        network = NetworkModel(seed=0)
+        network.set_link("slow", LinkProfile(latency_s=0.001, bandwidth_bps=1e4))
+        network.set_link("fast", LinkProfile(latency_s=0.001, bandwidth_bps=1e9))
+        broker = MQTTBroker("fifo", network=network, clock=clock)
+        scheduler = EventScheduler(clock=clock)
+        scheduler.attach_broker(broker)
+        arrivals = []
+        for cid in ("slow", "fast"):
+            client = MQTTClient(cid)
+            client.connect(broker)
+            client.subscribe("bus")
+            client.on_message = lambda _c, _m, cid=cid: arrivals.append(cid)
+            scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+        publisher.publish("bus", b"x" * 5000)
+        # The fast subscriber's copy is an independent (sender, receiver)
+        # connection, so it must NOT be held back by the slow subscriber's.
+        scheduler.run_until_idle()
+        assert arrivals == ["fast", "slow"]
+
+
+class TestRunUntilQuiet:
+    def test_drains_deliveries_without_firing_future_actions(self):
+        broker, scheduler, clock = _timed_broker([0.010])
+        client = MQTTClient("c0")
+        client.connect(broker)
+        client.subscribe("bus")
+        scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+        fired = []
+        scheduler.call_at(1000.0, lambda: fired.append("future"))
+
+        publisher.publish("bus", b"x")
+        processed = scheduler.run_until_quiet()
+
+        assert processed == 1
+        assert fired == []
+        assert scheduler.pending == 1  # the future action stays queued
+        assert clock.now() < 1.0
+
+    def test_fires_actions_due_before_pending_deliveries(self):
+        broker, scheduler, clock = _timed_broker([0.500])
+        client = MQTTClient("c0")
+        client.connect(broker)
+        client.subscribe("bus")
+        scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+        fired = []
+        scheduler.call_at(0.100, lambda: fired.append("early"))
+
+        publisher.publish("bus", b"x")  # due at ~0.5 s
+        scheduler.run_until_quiet()
+
+        assert fired == ["early"]
+
+
+class TestStopWhenPredicate:
+    def test_run_until_time_stops_early_without_fast_forward(self):
+        broker, scheduler, clock = _timed_broker([0.010, 0.020, 0.030])
+        seen = []
+        for index in range(3):
+            client = MQTTClient(f"c{index}")
+            client.connect(broker)
+            client.subscribe("bus")
+            client.on_message = lambda _c, _m, cid=f"c{index}": seen.append(cid)
+            scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+
+        publisher.publish("bus", b"x")
+        scheduler.run_until_time(10.0, stop_when=lambda: len(seen) >= 2)
+
+        assert seen == ["c0", "c1"]
+        assert clock.now() < 0.030  # stopped at c1's delivery, not the deadline
+        assert scheduler.pending == 1
+
+
+class TestCancelDeliveries:
+    def test_cancel_by_predicate_removes_only_matches(self):
+        broker, scheduler, clock = _timed_broker([0.010, 0.020])
+        seen = []
+        for index in range(2):
+            client = MQTTClient(f"c{index}")
+            client.connect(broker)
+            client.subscribe("bus")
+            client.on_message = lambda _c, _m, cid=f"c{index}": seen.append(cid)
+            scheduler.register(client)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+
+        publisher.publish("bus", b"x")
+        cancelled = scheduler.cancel_deliveries(lambda r: r.subscriber_id == "c1")
+
+        assert cancelled == 1
+        assert scheduler.deliveries_cancelled == 1
+        scheduler.run_until_idle()
+        assert seen == ["c0"]
