@@ -10,6 +10,8 @@ Exposes the experiment harness without writing any Python::
     python -m repro scenario list                # named scenarios (churn/fault workloads)
     python -m repro scenario run heavy-churn --seed 7
     python -m repro scenario sweep --seeds 1 2 3
+    python -m repro scenario grid --workers 4 --report out/   # parameter grid, parallel
+    python -m repro scenario schema              # generated spec field reference
 
 All commands print the same plain-text tables the benchmark harness emits.
 """
@@ -29,8 +31,12 @@ from repro.runtime.experiment import ExperimentConfig, FLExperiment
 from repro.scenarios import (
     ScenarioRunner,
     ScenarioSpec,
+    SweepSpec,
+    grid_names,
+    grid_summaries,
     scenario_names,
     scenario_summaries,
+    schema_markdown,
 )
 
 __all__ = ["main", "build_parser", "ABLATIONS"]
@@ -119,6 +125,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, nargs="+", default=None,
         help="seeds to sweep (default: each spec's own seed)",
     )
+
+    scenario_grid = scenario_sub.add_parser(
+        "grid",
+        help="expand a parameter grid (named or --spec JSON) and run every cell",
+    )
+    scenario_grid.add_argument(
+        "name", nargs="?", default="deadline-tier-mix",
+        help="grid registry name (default: deadline-tier-mix; ignored with --spec)",
+    )
+    scenario_grid.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load a SweepSpec from a JSON file instead of the registry",
+    )
+    scenario_grid.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the cell fan-out (results are byte-identical "
+             "for any worker count)",
+    )
+    scenario_grid.add_argument(
+        "--report", default=None, metavar="DIR",
+        help="write grid.csv/md, messaging_vs_analytic.csv/md and signatures.txt here",
+    )
+    scenario_grid.add_argument(
+        "--list", action="store_true", dest="list_grids",
+        help="list the named grid registry and exit",
+    )
+
+    scenario_schema = scenario_sub.add_parser(
+        "schema",
+        help="print the generated ScenarioSpec/SweepSpec field reference (markdown)",
+    )
+    scenario_schema.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="compare the generated reference against FILE and fail on drift "
+             "(the CI docs-check mode)",
+    )
     return parser
 
 
@@ -189,11 +231,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_grid(args: argparse.Namespace) -> int:
+    if args.list_grids:
+        print("Named grids (python -m repro scenario grid <name>):\n")
+        print(format_table(grid_summaries(), precision=2))
+        return 0
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            grid = SweepSpec.from_dict(json.load(handle))
+    else:
+        if args.name not in grid_names():
+            print(
+                f"unknown grid {args.name!r}; available: {', '.join(grid_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        grid = args.name
+
+    runner = ScenarioRunner()
+    result = runner.run_grid(grid, workers=args.workers)
+    sweep = result.sweep
+    print(
+        f"Grid: {sweep.name} — {len(result.cells)} cell(s) over "
+        f"{' x '.join(sweep.axis_paths)}, {result.workers} worker(s), "
+        f"{result.elapsed_s:.2f} s wall"
+        + (f" ({sweep.duplicates_collapsed} duplicate cell(s) collapsed)"
+           if sweep.duplicates_collapsed else "")
+        + "\n"
+    )
+    print(ScenarioRunner.format_grid(result))
+    print()
+    print("messaging_s (observed makespan) vs total_s (analytic critical path):\n")
+    print(ScenarioRunner.format_comparison(result))
+    if args.report is not None:
+        paths = result.write_report(args.report)
+        print()
+        for name in sorted(paths):
+            print(f"wrote {paths[name]}")
+    return 0
+
+
+def _cmd_scenario_schema(args: argparse.Namespace) -> int:
+    generated = schema_markdown()
+    if args.check is None:
+        print(generated, end="")
+        return 0
+    with open(args.check, "r", encoding="utf-8") as handle:
+        committed = handle.read()
+    if committed != generated:
+        print(
+            f"{args.check} is out of date; regenerate it with\n"
+            f"  PYTHONPATH=src python -m repro scenario schema > {args.check}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{args.check} is in sync with the dataclasses")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.scenario_command == "list":
         print("Named scenarios (python -m repro scenario run <name>):\n")
         print(format_table(scenario_summaries(), precision=2))
         return 0
+    if args.scenario_command == "grid":
+        return _cmd_scenario_grid(args)
+    if args.scenario_command == "schema":
+        return _cmd_scenario_schema(args)
 
     runner = ScenarioRunner()
     if args.scenario_command == "run":

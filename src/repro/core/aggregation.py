@@ -65,9 +65,14 @@ class ModelContribution:
         Contributing client (or lower-level aggregator) id.
     round_index:
         FL round the contribution belongs to.
+    epoch:
+        Restart epoch the contribution was sent under (0 until the round's
+        first mid-round restart).  An aggregator recovering from a restart
+        clears only contributions with an *older* epoch, so a re-send that
+        raced ahead of the aggregator's own restart notice survives.
     """
 
-    __slots__ = ("state", "weight", "sender_id", "round_index")
+    __slots__ = ("state", "weight", "sender_id", "round_index", "epoch")
 
     def __init__(
         self,
@@ -75,6 +80,7 @@ class ModelContribution:
         weight: float = 1.0,
         sender_id: str = "?",
         round_index: int = 0,
+        epoch: int = 0,
     ) -> None:
         if weight <= 0:
             raise AggregationError(f"contribution weight must be positive, got {weight}")
@@ -82,11 +88,12 @@ class ModelContribution:
         self.weight = float(weight)
         self.sender_id = sender_id
         self.round_index = int(round_index)
+        self.epoch = int(epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"ModelContribution(sender={self.sender_id!r}, weight={self.weight}, "
-            f"round={self.round_index})"
+            f"round={self.round_index}, epoch={self.epoch})"
         )
 
 

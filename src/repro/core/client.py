@@ -69,6 +69,9 @@ class SessionParticipation:
     own_contribution_sent: bool = False
     aggregations_performed: int = 0
     uploads_sent: int = 0
+    #: Highest ``round_restart`` epoch processed; contributions stamped with
+    #: an older epoch are stale and dropped (see ``_handle_round_restart``).
+    restart_epoch: int = 0
 
 
 class SDFLMQClient:
@@ -274,6 +277,7 @@ class SDFLMQClient:
             weight=weight,
             sender_id=self.client_id,
             round_index=participation.current_round,
+            epoch=participation.restart_epoch,
         )
         role_state = self.arbiter.state(session_id) if self.arbiter.has_session(session_id) else None
         if role_state is not None and role_state.role.aggregates:
@@ -394,6 +398,18 @@ class SDFLMQClient:
             lambda payload, sid=session_id: self._handle_apply_global(sid, payload),
             global_update_topic(session_id),
         )
+        # The contribution inbox stays subscribed for the whole session, not
+        # just while this client holds an aggregating role.  A mid-round
+        # re-plan can promote a client and route peers' (re-)sends to it
+        # before its own set_role message lands; with a role-scoped
+        # subscription the broker would drop those messages on the floor and
+        # the restarted round could never complete.  With a session-scoped
+        # inbox they are buffered and reconciled when the role arrives.
+        self.endpoint.register(
+            f"receive_model__{session_id}",
+            lambda payload, sid=session_id: self._handle_receive_model(sid, payload),
+            aggregator_params_topic(session_id, self.client_id),
+        )
 
     # ------------------------------------------------------------ role control
 
@@ -430,7 +446,7 @@ class SDFLMQClient:
             return  # idle / unknown destination: keep the buffer until reassigned
         pending = list(participation.pending_contributions)
         participation.pending_contributions.clear()
-        released = participation.buffered_bytes
+        released = self._charged_nbytes(pending)
         participation.buffered_bytes = 0
         if self.resources is not None and released:
             self.resources.release(self.client_id, released)
@@ -442,8 +458,11 @@ class SDFLMQClient:
         self._apply_topic_change(session_id, change)
 
     def _apply_topic_change(self, session_id: str, change: TopicChange) -> None:
-        for topic in change.unsubscribe:
-            self.endpoint.unregister(f"receive_model__{session_id}")
+        # The params inbox is session-scoped (see _subscribe_session_topics),
+        # so a demotion keeps the subscription: contributions addressed to a
+        # stale topology are buffered and forwarded by _reconcile_pending
+        # instead of vanishing at the broker.  Re-registering on promotion is
+        # an idempotent no-op (same handler name, same topic).
         for topic in change.subscribe:
             self.endpoint.register(
                 f"receive_model__{session_id}",
@@ -464,31 +483,64 @@ class SDFLMQClient:
             participation.current_round = max(
                 participation.current_round, int(notice.get("round_index", 0))
             )
+            self._sync_restart_epoch(participation, notice)
         elif event == "round_advanced":
             participation.current_round = int(notice.get("round_index", participation.current_round))
             participation.own_contribution_sent = False
+            self._sync_restart_epoch(participation, notice)
         elif event == "round_restart":
-            self._handle_round_restart(session_id, int(notice.get("round_index", participation.current_round)))
+            self._handle_round_restart(
+                session_id,
+                int(notice.get("round_index", participation.current_round)),
+                epoch=int(notice.get("epoch", participation.restart_epoch + 1)),
+            )
         elif event in ("session_complete", "session_terminated"):
             participation.completed = True
 
-    def _handle_round_restart(self, session_id: str, round_index: int) -> None:
+    @staticmethod
+    def _sync_restart_epoch(participation: SessionParticipation, notice: dict) -> None:
+        """Adopt the coordinator's restart epoch from a session broadcast.
+
+        A client that (re)joined after a mid-round restart never saw the
+        ``round_restart`` notice; without this sync its uploads would carry a
+        stale epoch and be discarded by up-to-date aggregators as
+        pre-restart leftovers — stalling the round it just joined.
+        """
+        participation.restart_epoch = max(
+            participation.restart_epoch, int(notice.get("restart_epoch", 0))
+        )
+
+    def _handle_round_restart(self, session_id: str, round_index: int, epoch: int = 0) -> None:
         """Recover from a mid-round contributor loss (coordinator-initiated).
 
         A contributor (possibly an aggregator) vanished before the round's
         global model was produced, so partial aggregates may have been lost in
-        transit.  Every surviving client drops whatever it had buffered and —
-        if it had already uploaded its local update this round — re-sends it,
-        now routed according to the freshly re-planned topology.
+        transit.  Every surviving client drops what it had buffered *from
+        before this restart* and — if it had already uploaded its local
+        update this round — re-sends it, now routed according to the freshly
+        re-planned topology.
+
+        ``epoch`` orders restarts against contribution deliveries: re-sent
+        contributions carry the epoch of the restart that triggered them, so
+        an aggregator whose restart notice arrives *after* a peer's re-send
+        (delivery latency differs per client) keeps that re-send instead of
+        wiping it — without the epoch stamp, the wipe deadlocked the round,
+        with every survivor waiting on a contribution nobody would re-send.
         """
         participation = self._participation(session_id)
+        if epoch <= participation.restart_epoch:
+            return  # duplicate or out-of-date restart notice
+        participation.restart_epoch = epoch
         participation.current_round = max(participation.current_round, round_index)
 
         if participation.pending_contributions:
-            participation.pending_contributions.clear()
-            if self.resources is not None and participation.buffered_bytes:
-                self.resources.release(self.client_id, participation.buffered_bytes)
-            participation.buffered_bytes = 0
+            kept = [c for c in participation.pending_contributions if c.epoch >= epoch]
+            dropped = [c for c in participation.pending_contributions if c.epoch < epoch]
+            participation.pending_contributions[:] = kept
+            participation.buffered_bytes = sum(state_dict_nbytes(c.state) for c in kept)
+            released = self._charged_nbytes(dropped)
+            if self.resources is not None and released:
+                self.resources.release(self.client_id, released)
         participation.own_contribution_sent = False
 
         already_uploaded = participation.uploads_sent > 0
@@ -511,17 +563,18 @@ class SDFLMQClient:
 
     def _handle_receive_model(self, session_id: str, payload: dict) -> None:
         """Peer contribution arriving on this client's aggregator params topic."""
-        role_state = self.arbiter.state(session_id)
-        if not role_state.role.aggregates:
-            raise RoleError(
-                f"client {self.client_id!r} received model parameters for session "
-                f"{session_id!r} but holds role {role_state.role.value!r}"
-            )
+        # No role check here: a contribution can arrive before this client's
+        # promotion to aggregator has been processed (the sender acted on the
+        # re-planned topology first).  It is buffered either way; when the
+        # set_role lands, _reconcile_pending aggregates it — and if this
+        # client is *not* promoted after all, the same hook forwards the
+        # buffer to its actual parent, so nothing is stranded.
         contribution = ModelContribution(
             state=payload["state"],
             weight=float(payload.get("weight", 1.0)),
             sender_id=str(payload.get("sender", "?")),
             round_index=int(payload.get("round_index", 0)),
+            epoch=int(payload.get("epoch", 0)),
         )
         self._buffer_contribution(session_id, contribution, charge_memory=True)
 
@@ -529,6 +582,11 @@ class SDFLMQClient:
         self, session_id: str, contribution: ModelContribution, charge_memory: bool
     ) -> None:
         participation = self._participation(session_id)
+        if contribution.epoch < participation.restart_epoch:
+            # Sent before a restart this client has already processed: the
+            # sender will re-send (or has been dropped), so buffering it would
+            # let a superseded update leak into the restarted round.
+            return
         # At most one contribution per (sender, round): a re-send after a
         # round restart replaces whatever that sender had contributed before,
         # which keeps FedAvg weights correct under failure recovery.
@@ -537,10 +595,9 @@ class SDFLMQClient:
                 existing.sender_id == contribution.sender_id
                 and existing.round_index == contribution.round_index
             ):
-                replaced_bytes = state_dict_nbytes(existing.state)
-                participation.buffered_bytes -= replaced_bytes
+                participation.buffered_bytes -= state_dict_nbytes(existing.state)
                 if self.resources is not None:
-                    self.resources.release(self.client_id, replaced_bytes)
+                    self.resources.release(self.client_id, self._charged_nbytes([existing]))
                 del participation.pending_contributions[index]
                 break
         participation.pending_contributions.append(contribution)
@@ -549,6 +606,20 @@ class SDFLMQClient:
         if charge_memory and self.resources is not None:
             self.resources.allocate(self.client_id, nbytes)
         self._maybe_aggregate(session_id)
+
+    def _charged_nbytes(self, contributions: List[ModelContribution]) -> int:
+        """Bytes of ``contributions`` that were charged to the accountant.
+
+        Only peer contributions are allocated against this client's memory
+        (``charge_memory=True`` in ``_handle_receive_model``); the client's
+        own update enters the buffer uncharged via ``send_local``.  Releases
+        must follow the same rule — ``buffered_bytes`` totals *all* buffered
+        state, so releasing deltas of it would return bytes that were never
+        allocated and silently reset the accountant's in-use level.
+        """
+        return sum(
+            state_dict_nbytes(c.state) for c in contributions if c.sender_id != self.client_id
+        )
 
     def _expected_buffer_size(self, session_id: str) -> int:
         role_state = self.arbiter.state(session_id)
@@ -576,6 +647,10 @@ class SDFLMQClient:
             c for c in participation.pending_contributions
             if c not in contributions and c.round_index >= current
         ]
+        dropped = [
+            c for c in participation.pending_contributions
+            if c not in contributions and c not in remaining
+        ]
         participation.pending_contributions[:] = remaining
         strategy = self._aggregator_for(session_id)
         aggregated = strategy.aggregate(contributions)
@@ -584,9 +659,8 @@ class SDFLMQClient:
         self.bytes_aggregated += sum(state_dict_nbytes(c.state) for c in contributions)
         participation.aggregations_performed += 1
 
-        kept_bytes = sum(state_dict_nbytes(c.state) for c in remaining)
-        released = max(0, participation.buffered_bytes - kept_bytes)
-        participation.buffered_bytes = kept_bytes
+        participation.buffered_bytes = sum(state_dict_nbytes(c.state) for c in remaining)
+        released = self._charged_nbytes(contributions) + self._charged_nbytes(dropped)
         if self.resources is not None and released:
             self.resources.release(self.client_id, released)
 
@@ -595,6 +669,7 @@ class SDFLMQClient:
             weight=total_weight,
             sender_id=self.client_id,
             round_index=round_index,
+            epoch=participation.restart_epoch,
         )
         if role_state.parent_id is not None:
             self._publish_contribution(session_id, role_state.parent_id, result)
@@ -614,6 +689,7 @@ class SDFLMQClient:
                 "sender": contribution.sender_id,
                 "round_index": contribution.round_index,
                 "weight": contribution.weight,
+                "epoch": contribution.epoch,
                 "state": contribution.state,
             },
             expect_response=False,

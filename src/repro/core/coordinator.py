@@ -291,9 +291,14 @@ class Coordinator:
             # Restart the round: survivors clear their aggregation buffers and
             # re-send their local updates under the new topology.
             if session.global_versions <= session.round_index:
+                session.restart_epochs += 1
                 self._broadcast(
                     session,
-                    {"event": "round_restart", "round_index": session.round_index},
+                    {
+                        "event": "round_restart",
+                        "round_index": session.round_index,
+                        "epoch": session.restart_epochs,
+                    },
                 )
                 self._record("round_restart", session.session_id, round_index=session.round_index,
                              detail=f"after {client_id} left")
@@ -362,7 +367,14 @@ class Coordinator:
             self.rebalances += 1
             self._send_assignments(result, session, only_changed=True)
             self._announce_topology(session)
-        self._broadcast(session, {"event": "round_advanced", "round_index": next_round})
+        self._broadcast(
+            session,
+            {
+                "event": "round_advanced",
+                "round_index": next_round,
+                "restart_epoch": session.restart_epochs,
+            },
+        )
         self._record("round_advanced", session.session_id, round_index=next_round)
 
     # ------------------------------------------------------------- messaging
@@ -397,6 +409,11 @@ class Coordinator:
                 "round_index": session.round_index,
                 "topology": session.topology.to_dict(),
                 "aggregation": session.request.aggregation,
+                # Clients that were offline during a mid-round restart sync
+                # their restart epoch from here (and from round_advanced), so
+                # their next upload is not mistaken for a stale pre-restart
+                # contribution and dropped.
+                "restart_epoch": session.restart_epochs,
             },
         )
 

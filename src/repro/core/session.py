@@ -46,6 +46,11 @@ class FLSession:
     round_reports: Dict[int, Set[str]] = field(default_factory=dict)
     global_versions: int = 0
     completed_rounds: int = 0
+    #: Number of mid-round restarts broadcast so far.  Stamped into every
+    #: ``round_restart`` notice (and echoed by clients in their re-sent
+    #: contributions) so aggregators can tell a post-restart re-send from a
+    #: stale pre-restart contribution regardless of delivery interleaving.
+    restart_epochs: int = 0
 
     # ------------------------------------------------------------- properties
 

@@ -1,15 +1,35 @@
-"""Plain-text rendering of experiment results.
+"""Structured rendering of experiment results.
 
 The benchmark harness prints the same rows/series the paper reports; these
-helpers keep that formatting in one place (fixed-width tables for terminals,
-markdown tables for EXPERIMENTS.md).
+helpers keep that formatting in one place: fixed-width tables for terminals,
+markdown tables for EXPERIMENTS.md-style docs, and CSV for downstream
+analysis.  The grid helpers condense a parameter-grid run (see
+:mod:`repro.scenarios.sweep`) into per-cell metric rows and write the full
+report bundle — including the ``messaging_s`` (observed event-scheduler
+makespan) vs ``total_s`` (analytic critical path) comparison the ROADMAP
+asks for.
+
+The grid helpers are duck-typed: they accept any sequence of objects with
+the :class:`repro.scenarios.runner.CellResult` attributes, which keeps this
+module free of imports from the scenario layer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+import csv
+import io
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "rows_to_markdown"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "grid_summary_rows",
+    "messaging_vs_analytic_rows",
+    "rows_to_csv",
+    "rows_to_markdown",
+    "write_grid_report",
+]
 
 
 def _format_value(value: object, precision: int = 4) -> str:
@@ -20,15 +40,21 @@ def _format_value(value: object, precision: int = 4) -> str:
     return str(value)
 
 
-def format_table(rows: Sequence[Mapping[str, object]], precision: int = 4) -> str:
-    """Render a list of dict rows as an aligned fixed-width text table."""
-    if not rows:
-        return "(empty table)"
+def _columns(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """Union of row keys, in first-appearance order."""
     columns: List[str] = []
     for row in rows:
         for key in row:
             if key not in columns:
                 columns.append(key)
+    return columns
+
+
+def format_table(rows: Sequence[Mapping[str, object]], precision: int = 4) -> str:
+    """Render a list of dict rows as an aligned fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    columns = _columns(rows)
     rendered = [[_format_value(row.get(col, ""), precision) for col in columns] for row in rows]
     widths = [
         max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
@@ -45,16 +71,138 @@ def format_series(name: str, values: Iterable[float], precision: int = 4) -> str
     return f"{name}: [{rendered}]"
 
 
-def rows_to_markdown(rows: Sequence[Mapping[str, object]], precision: int = 4) -> str:
-    """Render dict rows as a GitHub-flavoured markdown table."""
+def rows_to_markdown(
+    rows: Sequence[Mapping[str, object]],
+    precision: int = 4,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table.
+
+    ``columns`` selects and orders the rendered columns; by default every
+    key that appears in any row is rendered, in first-appearance order.
+    """
     if not rows:
         return "(empty table)"
-    columns: List[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
+    columns = list(columns) if columns is not None else _columns(rows)
     lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
     for row in rows:
         lines.append("| " + " | ".join(_format_value(row.get(col, ""), precision) for col in columns) + " |")
     return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render dict rows as CSV (RFC 4180 quoting, ``\\n`` line endings).
+
+    Floats are written with ``repr`` so a CSV round-trips bit-exactly — the
+    grid determinism checks compare these files byte for byte across worker
+    counts.
+    """
+    buffer = io.StringIO()
+    columns = _columns(rows)
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow(
+            [repr(v) if isinstance(v, float) else v for v in (row.get(col, "") for col in columns)]
+        )
+    return buffer.getvalue()
+
+
+# ------------------------------------------------------------- grid reports
+
+
+def grid_summary_rows(cells: Sequence[object]) -> List[Dict[str, object]]:
+    """One metric row per grid cell (accepts ``CellResult``-shaped objects).
+
+    The leading columns are the cell index and its grid coordinates (one
+    column per axis path), so the table reads like the cartesian product it
+    came from; the remaining columns are the run's headline metrics.
+    """
+    rows: List[Dict[str, object]] = []
+    for cell in cells:
+        row: Dict[str, object] = {"cell": cell.index}
+        for path, value in cell.coordinates.items():
+            row[path] = value if not isinstance(value, (dict, list)) else _compact_json(value)
+        row.update(
+            {
+                "seed": cell.seed,
+                "rounds": cell.rounds_completed,
+                "accuracy": cell.final_accuracy,
+                "total_s": cell.total_s,
+                "messaging_s": cell.messaging_s,
+                "messages": cell.messages,
+                "traffic_bytes": cell.traffic_bytes,
+                "dropped": cell.clients_dropped,
+                "admitted": cell.clients_admitted,
+                "cut": cell.stragglers_cut,
+                "faults": cell.faults_started,
+                "signature": cell.signature[:12],
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def messaging_vs_analytic_rows(cells: Sequence[object]) -> List[Dict[str, object]]:
+    """Observed messaging makespan vs the analytic critical path, per cell.
+
+    ``total_s`` sums each round's analytic critical-path delay
+    (:class:`~repro.runtime.delay.RoundDelayBreakdown`); ``messaging_s``
+    sums the simulated time the event scheduler actually spent moving the
+    rounds' messages.  ``messaging_ratio`` is their quotient — how much the
+    executed messaging layer adds on top of what the closed-form model
+    predicts — which is the comparison the paper's delay experiments need.
+    """
+    rows: List[Dict[str, object]] = []
+    for cell in cells:
+        total = float(cell.total_s)
+        messaging = float(cell.messaging_s)
+        row: Dict[str, object] = {"cell": cell.index}
+        for path, value in cell.coordinates.items():
+            row[path] = value if not isinstance(value, (dict, list)) else _compact_json(value)
+        row.update(
+            {
+                "analytic_total_s": total,
+                "observed_messaging_s": messaging,
+                "messaging_ratio": messaging / total if total > 0 else 0.0,
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def _compact_json(value: object) -> str:
+    import json
+
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def write_grid_report(cells: Sequence[object], out_dir: str) -> Dict[str, str]:
+    """Write the full grid report bundle into ``out_dir``; return the paths.
+
+    Emits five files: the per-cell summary as ``grid.csv`` + ``grid.md``,
+    the messaging-vs-analytic comparison as ``messaging_vs_analytic.csv`` +
+    ``messaging_vs_analytic.md``, and ``signatures.txt`` — one
+    ``index  sha256`` line per cell, the artefact the CI grid smoke compares
+    against its committed golden file.  Output is byte-identical for
+    byte-identical cell results, regardless of how many workers produced
+    them.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    summary = grid_summary_rows(cells)
+    comparison = messaging_vs_analytic_rows(cells)
+    signatures = "".join(f"{cell.index:03d}  {cell.signature}\n" for cell in cells)
+    outputs = {
+        "grid.csv": rows_to_csv(summary),
+        "grid.md": rows_to_markdown(summary) + "\n",
+        "messaging_vs_analytic.csv": rows_to_csv(comparison),
+        "messaging_vs_analytic.md": rows_to_markdown(comparison) + "\n",
+        "signatures.txt": signatures,
+    }
+    paths: Dict[str, str] = {}
+    for name, content in outputs.items():
+        path = os.path.join(out_dir, name)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(content)
+        paths[name] = path
+    return paths

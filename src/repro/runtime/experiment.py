@@ -165,17 +165,25 @@ class RoundResult:
     stragglers_cut: int = 0
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat dict row (used by the benchmark tables)."""
+        """Flat dict row (used by the benchmark tables and grid reports).
+
+        ``round_delay_s`` is the analytic critical-path delay while
+        ``messaging_s`` is the observed event-scheduler makespan — exporting
+        both here is what lets reports compare model against execution.
+        """
         row = {
             "round": self.round_index,
             "test_accuracy": self.test_accuracy,
             "test_loss": self.test_loss,
             "mean_train_loss": self.mean_train_loss,
             "round_delay_s": self.delay.total_s,
+            "messaging_s": self.delay.messaging_s,
             "traffic_bytes": self.traffic_bytes,
             "messages_routed": self.messages_routed,
             "roles_changed": self.roles_changed,
             "overflow_events": self.overflow_events,
+            "participants": self.participants,
+            "stragglers_cut": self.stragglers_cut,
         }
         return row
 

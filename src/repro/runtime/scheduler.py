@@ -77,6 +77,32 @@ class EventScheduler:
         with the same seed must produce identical digests — the scenario
         determinism tests pin exactly that.  Off by default (costs a hash
         update per message).
+
+    Example
+    -------
+    Attach a broker, let clients publish, then drain in time order:
+
+    >>> from repro.mqtt.broker import MQTTBroker
+    >>> from repro.mqtt.client import MQTTClient
+    >>> from repro.sim.clock import SimulationClock
+    >>> clock = SimulationClock()
+    >>> broker = MQTTBroker("b", clock=clock)
+    >>> scheduler = EventScheduler(clock=clock)
+    >>> scheduler.attach_broker(broker)
+    >>> sub = MQTTClient("sub"); _ = sub.connect(broker); _ = sub.subscribe("bus")
+    >>> scheduler.register(sub)
+    >>> pub = MQTTClient("pub"); _ = pub.connect(broker)
+    >>> _ = pub.publish("bus", b"hello")
+    >>> fired = []
+    >>> _ = scheduler.call_at(10.0, lambda: fired.append("tick"))
+    >>> scheduler.run_until_time(1.0)   # delivery drains, action stays queued
+    1
+    >>> fired
+    []
+    >>> scheduler.run_until_idle()      # fast-forwards to the action at t=10
+    0
+    >>> fired
+    ['tick']
     """
 
     def __init__(
@@ -408,6 +434,12 @@ class EventScheduler:
 
         Returns the number of message callbacks run.  The single-instant loop
         guard from :meth:`run_until_time` applies.
+
+        Contrast with the other drains (see the class example for setup)::
+
+            scheduler.run_until_idle()       # everything, incl. future actions
+            scheduler.run_until_time(5.0)    # everything due at or before t=5
+            scheduler.run_until_quiet()      # all deliveries; future actions wait
         """
         limit = max_events if max_events is not None else self.max_sweeps
         processed = 0

@@ -9,12 +9,16 @@ deterministically (same spec + seed ⇒ identical delivery order, final model
 state and result signature) and reports per-scenario metric rows.
 
 * :mod:`repro.scenarios.spec` — the declarative specification tree,
+* :mod:`repro.scenarios.sweep` — parameter grids (``SweepSpec`` axes over
+  dotted spec paths, expanded into validated cells + named grid registry),
 * :mod:`repro.scenarios.faults` — timed fault execution on the scheduler,
 * :mod:`repro.scenarios.compiler` — spec → wired experiment,
 * :mod:`repro.scenarios.registry` — named built-ins (``baseline``,
   ``heavy-churn``, ``straggler-heavy``, ``degraded-wan``,
   ``bridged-multi-region``, ``flash-crowd``),
-* :mod:`repro.scenarios.runner` — deterministic execution + reporting.
+* :mod:`repro.scenarios.runner` — deterministic execution (single runs and
+  multiprocessing grid fan-out) + reporting,
+* :mod:`repro.scenarios.schema` — generated spec field reference (docs).
 """
 
 from repro.scenarios.compiler import CompiledScenario, build_experiment_config, compile_scenario
@@ -25,7 +29,8 @@ from repro.scenarios.registry import (
     scenario_names,
     scenario_summaries,
 )
-from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.runner import CellResult, GridResult, ScenarioResult, ScenarioRunner
+from repro.scenarios.schema import schema_markdown
 from repro.scenarios.spec import (
     FAULT_KINDS,
     FaultSpec,
@@ -36,24 +41,43 @@ from repro.scenarios.spec import (
     TopologySpec,
     TrainingSpec,
 )
+from repro.scenarios.sweep import (
+    AxisSpec,
+    GridCell,
+    SweepSpec,
+    get_grid,
+    grid_names,
+    grid_summaries,
+    register_grid,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "AxisSpec",
+    "CellResult",
     "CompiledScenario",
     "FaultInjector",
     "FaultSpec",
     "FleetSpec",
+    "GridCell",
+    "GridResult",
     "NetworkSpec",
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
     "ScenarioSpecError",
+    "SweepSpec",
     "TopologySpec",
     "TrainingSpec",
     "build_experiment_config",
     "compile_scenario",
+    "get_grid",
     "get_scenario",
+    "grid_names",
+    "grid_summaries",
+    "register_grid",
     "register_scenario",
     "scenario_names",
     "scenario_summaries",
+    "schema_markdown",
 ]

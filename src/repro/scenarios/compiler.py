@@ -93,7 +93,16 @@ class CompiledScenario:
 
 
 def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
-    """Build, set up and instrument the experiment a spec describes."""
+    """Build, set up and instrument the experiment a spec describes.
+
+    The returned :class:`CompiledScenario` is ready to drive manually when a
+    test needs finer control than :class:`~repro.scenarios.runner.ScenarioRunner`:
+
+    >>> from repro.scenarios import compile_scenario, get_scenario
+    >>> compiled = compile_scenario(get_scenario("baseline"))  # doctest: +SKIP
+    >>> compiled.experiment.scheduler.run_until_time(1.0)      # doctest: +SKIP
+    >>> compiled.experiment.run_round(0)                       # doctest: +SKIP
+    """
     experiment = FLExperiment(build_experiment_config(spec))
     experiment.setup()
 
@@ -105,8 +114,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
             experiment.network.set_link(
                 client_id,
                 LinkProfile(
-                    latency_s=base.latency_s * network.latency_scale,
-                    bandwidth_bps=base.bandwidth_bps * network.bandwidth_scale,
+                    latency_s=base.latency_s * network.effective_latency_scale,
+                    bandwidth_bps=base.bandwidth_bps * network.effective_bandwidth_scale,
                     jitter_s=base.jitter_s + network.jitter_s,
                     loss_rate=network.loss_rate,
                 ),

@@ -31,7 +31,26 @@ __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Binds a fault plan onto an experiment's event scheduler."""
+    """Binds a fault plan onto an experiment's event scheduler.
+
+    The scenario compiler constructs and binds one injector per compiled
+    scenario; it can also be used standalone to instrument a hand-built
+    experiment:
+
+    >>> from repro.runtime.experiment import ExperimentConfig, FLExperiment
+    >>> from repro.scenarios import FaultSpec, FaultInjector
+    >>> experiment = FLExperiment(ExperimentConfig(num_clients=4)).setup()  # doctest: +SKIP
+    >>> injector = FaultInjector(experiment, [
+    ...     FaultSpec(kind="broker_slowdown", start_s=1.0, duration_s=2.0, factor=50.0),
+    ... ])                                                                  # doctest: +SKIP
+    >>> injector.bind()                                                     # doctest: +SKIP
+    1
+    >>> experiment.scheduler.run_until_time(1.5)  # window now open         # doctest: +SKIP
+
+    Counters (``faults_started``, ``faults_ended``, ``crashes_injected``)
+    expose what actually fired, and every transition is recorded in the
+    experiment's event log.
+    """
 
     def __init__(self, experiment: "FLExperiment", faults: Sequence[FaultSpec]) -> None:
         self.experiment = experiment

@@ -42,6 +42,12 @@ def register_scenario(builder: Callable[[], ScenarioSpec], name: str = "") -> st
     The builder is called once immediately to validate the spec and pin the
     name (``name`` overrides the spec's own).  Re-registering a name replaces
     the previous builder.
+
+    >>> from repro.scenarios import ScenarioSpec, get_scenario, register_scenario
+    >>> register_scenario(lambda: ScenarioSpec(name="my-workload", seed=3))
+    'my-workload'
+    >>> get_scenario("my-workload").seed
+    3
     """
     spec = builder()
     registered = name or spec.name

@@ -1,4 +1,4 @@
-"""Deterministic execution of declarative scenarios.
+"""Deterministic execution of declarative scenarios and parameter grids.
 
 :class:`ScenarioRunner` takes a :class:`~repro.scenarios.spec.ScenarioSpec`
 (or a registry name), compiles it, and drives the experiment round by round —
@@ -11,28 +11,48 @@ trace (every dispatched message's topic, endpoints and due time) and the
 final global model parameters.  Two runs of the same spec with the same seed
 must produce byte-identical signatures — that is the determinism contract
 the scenario tests and the CLI acceptance check pin.
+
+:meth:`ScenarioRunner.run_grid` extends the contract to parameter grids
+(:class:`~repro.scenarios.sweep.SweepSpec`): cells are independent
+simulations, so they fan out over a ``multiprocessing`` pool, and because
+each cell is deterministic and results are ordered by cell index, a
+1-worker and an N-worker run of the same grid are byte-identical.
 """
 
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.experiments.report import format_table
+from repro.experiments.report import (
+    format_table,
+    grid_summary_rows,
+    messaging_vs_analytic_rows,
+    write_grid_report,
+)
 from repro.runtime.experiment import FLExperiment, RoundResult
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.sweep import SweepSpec, get_grid
 
-__all__ = ["ScenarioResult", "ScenarioRunner"]
+__all__ = ["CellResult", "GridResult", "ScenarioResult", "ScenarioRunner"]
 
 
 @dataclass
 class ScenarioResult:
-    """Outcome of one scenario run."""
+    """Outcome of one scenario run.
+
+    ``seed`` is the *effective* seed the simulation actually used — the
+    runner threads a ``--seeds`` override through the spec before compiling,
+    so ``result.seed``, ``result.spec.seed``, the summary row and the
+    signature always agree.
+    """
 
     spec: ScenarioSpec
     seed: int
@@ -59,6 +79,11 @@ class ScenarioResult:
     def total_delay_s(self) -> float:
         """Summed analytic round delays."""
         return float(sum(r.delay.total_s for r in self.rounds))
+
+    @property
+    def total_messaging_s(self) -> float:
+        """Summed observed messaging makespans (the event-scheduler view)."""
+        return float(sum(r.delay.messaging_s for r in self.rounds))
 
     def round_rows(self) -> List[Dict[str, object]]:
         """Per-round metric rows (rendered by ``format_table``)."""
@@ -98,8 +123,111 @@ class ScenarioResult:
         }
 
 
+@dataclass
+class CellResult:
+    """Slim, picklable outcome of one grid cell.
+
+    Grid cells run in worker processes, so the result deliberately carries
+    only plain data — metric scalars, the per-round rows and the signature —
+    never the executed experiment.  ``coordinates`` is the cell's grid
+    metadata (axis path → value, in axis order).
+    """
+
+    index: int
+    coordinates: Dict[str, object]
+    scenario: str
+    seed: int
+    signature: str
+    rounds_completed: int
+    final_accuracy: float
+    total_s: float
+    messaging_s: float
+    sim_time_s: float
+    messages: int
+    traffic_bytes: int
+    clients_dropped: int
+    clients_admitted: int
+    stragglers_cut: int
+    faults_started: int
+    round_rows: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_scenario(
+        cls, index: int, coordinates: Dict[str, object], result: ScenarioResult
+    ) -> "CellResult":
+        """Condense a full :class:`ScenarioResult` into the picklable cell form."""
+        return cls(
+            index=index,
+            coordinates=dict(coordinates),
+            scenario=result.spec.name,
+            seed=result.seed,
+            signature=result.signature,
+            rounds_completed=len(result.rounds),
+            final_accuracy=result.final_accuracy,
+            total_s=result.total_delay_s,
+            messaging_s=result.total_messaging_s,
+            sim_time_s=result.final_sim_time_s,
+            messages=result.messages_processed,
+            traffic_bytes=result.total_traffic_bytes,
+            clients_dropped=result.clients_dropped,
+            clients_admitted=result.clients_admitted,
+            stragglers_cut=result.stragglers_cut,
+            faults_started=result.faults_started,
+            round_rows=result.round_rows(),
+        )
+
+
+@dataclass
+class GridResult:
+    """Outcome of one parameter-grid run: ordered cells plus run metadata."""
+
+    sweep: SweepSpec
+    cells: List[CellResult]
+    workers: int
+    elapsed_s: float = 0.0
+
+    def signatures(self) -> List[str]:
+        """Per-cell SHA-256 signatures, in cell-index order."""
+        return [cell.signature for cell in self.cells]
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Per-cell metric rows (see :func:`grid_summary_rows`)."""
+        return grid_summary_rows(self.cells)
+
+    def comparison_rows(self) -> List[Dict[str, object]]:
+        """messaging-vs-analytic rows (see :func:`messaging_vs_analytic_rows`)."""
+        return messaging_vs_analytic_rows(self.cells)
+
+    def write_report(self, out_dir: str) -> Dict[str, str]:
+        """Write the CSV/markdown/signature bundle (see :func:`write_grid_report`)."""
+        return write_grid_report(self.cells, out_dir)
+
+
+def _run_grid_cell(payload: Tuple[int, Dict[str, object], Dict[str, object]]) -> CellResult:
+    """Worker entry point: run one grid cell from its JSON-safe payload.
+
+    Top-level (picklable) so it works under both ``fork`` and ``spawn``
+    start methods; the payload is ``(index, coordinates, spec_dict)``.
+    """
+    index, coordinates, spec_dict = payload
+    result = ScenarioRunner().run(ScenarioSpec.from_dict(spec_dict))
+    return CellResult.from_scenario(index, coordinates, result)
+
+
 class ScenarioRunner:
-    """Runs one scenario, or a named suite, deterministically."""
+    """Runs one scenario, a named suite, or a parameter grid deterministically.
+
+    Example
+    -------
+    >>> from repro.scenarios import ScenarioRunner
+    >>> runner = ScenarioRunner()
+    >>> result = runner.run("baseline", seed=7)       # doctest: +SKIP
+    >>> result.seed, result.signature == runner.run("baseline", seed=7).signature
+    (7, True)                                          # doctest: +SKIP
+    >>> grid = runner.run_grid("deadline-tier-mix", workers=4)  # doctest: +SKIP
+    >>> grid.signatures() == runner.run_grid("deadline-tier-mix").signatures()
+    True                                               # doctest: +SKIP
+    """
 
     def run(
         self, scenario: Union[str, ScenarioSpec], seed: Optional[int] = None
@@ -107,12 +235,18 @@ class ScenarioRunner:
         """Compile and execute ``scenario`` (a spec or a registry name).
 
         ``seed`` overrides the spec's seed, so one spec sweeps cleanly over
-        seeds.  The same (spec, seed) pair always yields an identical
-        delivery order, final model state, and therefore signature.
+        seeds; the override is threaded through the spec *before* compiling,
+        so the result's ``seed``, its spec, the summary row and the
+        signature all reflect the effective seed.  The same (spec, effective
+        seed) pair always yields an identical delivery order, final model
+        state, and therefore signature.
         """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         if seed is not None:
             spec = spec.with_seed(seed)
+        # Single source of truth for every seed-bearing artefact below: the
+        # spec the experiment was actually compiled from.
+        effective_seed = spec.seed
         compiled = compile_scenario(spec)
         experiment = compiled.experiment
 
@@ -127,7 +261,7 @@ class ScenarioRunner:
 
         result = ScenarioResult(
             spec=spec,
-            seed=spec.seed,
+            seed=effective_seed,
             rounds=rounds,
             signature=self._signature(compiled),
             clients_dropped=experiment.coordinator.clients_dropped,
@@ -161,6 +295,44 @@ class ScenarioRunner:
                 results.append(result)
         return results
 
+    # ------------------------------------------------------------------ grids
+
+    def run_grid(
+        self,
+        grid: Union[str, SweepSpec],
+        workers: int = 1,
+    ) -> GridResult:
+        """Execute every cell of a parameter grid; returns ordered results.
+
+        ``grid`` is a :class:`~repro.scenarios.sweep.SweepSpec` or a name
+        from the grid registry.  With ``workers > 1`` the (independent,
+        deterministic) cells fan out over a ``multiprocessing`` pool; cells
+        are dispatched and results collected in cell-index order, and each
+        cell's signature depends only on its spec, so a 1-worker and an
+        N-worker run of the same grid produce byte-identical reports — the
+        grid determinism tests and the CI smoke pin exactly that.
+        """
+        sweep = get_grid(grid) if isinstance(grid, str) else grid
+        cells = sweep.cells()
+        workers = max(1, int(workers))
+        payloads = [
+            (cell.index, dict(cell.coordinates), cell.spec.as_dict()) for cell in cells
+        ]
+        start = time.perf_counter()
+        if workers == 1 or len(payloads) <= 1:
+            results = [_run_grid_cell(payload) for payload in payloads]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            with context.Pool(processes=min(workers, len(payloads))) as pool:
+                results = pool.map(_run_grid_cell, payloads, chunksize=1)
+        elapsed = time.perf_counter() - start
+        # pool.map already preserves payload order; the sort is a cheap
+        # belt-and-braces guarantee that the determinism contract never
+        # depends on pool implementation details.
+        results.sort(key=lambda cell: cell.index)
+        return GridResult(sweep=sweep, cells=results, workers=workers, elapsed_s=elapsed)
+
     # -------------------------------------------------------------- rendering
 
     @staticmethod
@@ -172,6 +344,16 @@ class ScenarioRunner:
     def format_summary(results: Sequence[ScenarioResult], precision: int = 4) -> str:
         """Summary table over several runs (one row each)."""
         return format_table([r.summary_row() for r in results], precision=precision)
+
+    @staticmethod
+    def format_grid(grid: GridResult, precision: int = 4) -> str:
+        """Per-cell summary table for one grid run."""
+        return format_table(grid.summary_rows(), precision=precision)
+
+    @staticmethod
+    def format_comparison(grid: GridResult, precision: int = 4) -> str:
+        """messaging-vs-analytic comparison table for one grid run."""
+        return format_table(grid.comparison_rows(), precision=precision)
 
     # -------------------------------------------------------------- signature
 

@@ -155,18 +155,36 @@ class NetworkSpec:
     A degraded-WAN scenario scales every link (``latency_scale`` up,
     ``bandwidth_scale`` down) and may add Gaussian jitter and QoS-0 loss;
     windowed degradations belong in the fault plan instead.
+
+    ``wan_scale`` is a single-knob WAN-quality dial made for parameter grids:
+    a value of *k* multiplies every link's latency by *k* and divides its
+    bandwidth by *k*, on top of the explicit scales.  ``wan_scale=1`` (the
+    default) is a pristine WAN; sweeping it over ``(1, 8, 32)`` degrades the
+    whole deployment in one axis instead of two correlated ones.
     """
 
     latency_scale: float = 1.0
     bandwidth_scale: float = 1.0
     jitter_s: float = 0.0
     loss_rate: float = 0.0
+    wan_scale: float = 1.0
 
     def __post_init__(self) -> None:
         _require(self.latency_scale > 0, "latency_scale must be positive")
         _require(self.bandwidth_scale > 0, "bandwidth_scale must be positive")
         _require(self.jitter_s >= 0, "jitter_s must be non-negative")
         _require(0.0 <= self.loss_rate < 1.0, "loss_rate must be in [0, 1)")
+        _require(self.wan_scale > 0, "wan_scale must be positive")
+
+    @property
+    def effective_latency_scale(self) -> float:
+        """Latency multiplier actually applied (``latency_scale * wan_scale``)."""
+        return self.latency_scale * self.wan_scale
+
+    @property
+    def effective_bandwidth_scale(self) -> float:
+        """Bandwidth multiplier actually applied (``bandwidth_scale / wan_scale``)."""
+        return self.bandwidth_scale / self.wan_scale
 
     @property
     def is_default(self) -> bool:
@@ -176,6 +194,7 @@ class NetworkSpec:
             and self.bandwidth_scale == 1.0
             and self.jitter_s == 0.0
             and self.loss_rate == 0.0
+            and self.wan_scale == 1.0
         )
 
 

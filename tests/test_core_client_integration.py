@@ -212,11 +212,17 @@ class TestClientErrorHandling:
         with pytest.raises(SDFLMQError):
             client.participation("never-joined")
 
-    def test_receive_model_in_trainer_role_raises(self, broker):
+    def test_receive_model_in_trainer_role_buffers(self, broker):
+        # A contribution can land before the receiving client has processed
+        # its promotion (mid-round re-plan): it must be buffered, not lost —
+        # _reconcile_pending aggregates or forwards it once the role arrives.
         pump, coordinator, _, clients, models = build_stack(broker, 5)
         trainer = next(c for c in clients if c.role(SESSION) is Role.TRAINER)
-        with pytest.raises(RoleError):
-            trainer._handle_receive_model(SESSION, {"state": {"w": np.zeros(2)}, "weight": 1.0})
+        trainer._handle_receive_model(
+            SESSION, {"state": {"w": np.zeros(2)}, "weight": 1.0, "sender": "peer"}
+        )
+        participation = trainer.participation(SESSION)
+        assert [c.sender_id for c in participation.pending_contributions] == ["peer"]
 
 
 class TestResourceAccounting:

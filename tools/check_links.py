@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Each argument is a markdown file or a directory scanned (non-recursively)
+for ``*.md``.  Every relative link target — ``[text](path)`` and
+``[text](path#fragment)`` — must exist on disk relative to the file that
+contains it; ``http(s)://``, ``mailto:`` and pure-fragment (``#...``)
+links are ignored.  Exits 1 listing every dead link, which is how the CI
+``docs-check`` job keeps the docs tree navigable.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+IGNORED_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {argument}")
+    return files
+
+
+def dead_links(path: Path) -> List[Tuple[str, str]]:
+    dead: List[Tuple[str, str]] = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(IGNORED_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            dead.append((str(path), target))
+    return dead
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        raise SystemExit(__doc__)
+    failures: List[Tuple[str, str]] = []
+    files = markdown_files(argv)
+    for path in files:
+        failures.extend(dead_links(path))
+    if failures:
+        for source, target in failures:
+            print(f"DEAD LINK in {source}: ({target})", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
