@@ -87,3 +87,54 @@ def test_grid_parallel_speedup(benchmark, bench_fast):
         # Single/dual-core boxes: the pool may not win, but the overhead must
         # stay bounded (fork + pickle for 16 tiny cells, not a collapse).
         assert parallel_s < serial_s * 3 + 2.0
+
+
+def test_persistent_pool_amortizes_worker_startup(benchmark, bench_fast):
+    """Many-grid sessions reuse one worker pool instead of respawning per grid.
+
+    A fresh runner per grid pays pool startup (process spawn + full stack
+    re-import under the ``spawn`` start method) once per grid; a shared
+    runner pays it once per session.  The determinism contract must hold
+    either way, the pool object must actually be reused, and the shared
+    session must not be slower than the respawning one beyond noise.
+    """
+    grids = 2 if bench_fast else 4
+    sweep = _bench_grid(2)  # 4 tiny cells per grid
+
+    def run():
+        start = time.perf_counter()
+        fresh_results = []
+        for _ in range(grids):
+            runner = ScenarioRunner()
+            fresh_results.append(runner.run_grid(sweep, workers=WORKERS))
+            runner.close()
+        fresh_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        shared_results = []
+        pools = []
+        with ScenarioRunner() as shared:
+            for _ in range(grids):
+                shared_results.append(shared.run_grid(sweep, workers=WORKERS))
+                pools.append(shared._pool)
+        shared_s = time.perf_counter() - start
+        reused = all(pool is pools[0] for pool in pools)
+        return fresh_results, shared_results, fresh_s, shared_s, reused
+
+    fresh_results, shared_results, fresh_s, shared_s, reused = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    emit(
+        f"Persistent grid pool — {grids} grids x {len(sweep.cells())} cells, {WORKERS} workers",
+        f"fresh pool per grid:  {fresh_s:.3f} s\n"
+        f"shared pool session:  {shared_s:.3f} s\n"
+        f"startup amortized:    {fresh_s / max(shared_s, 1e-9):.2f}x",
+    )
+
+    assert reused, "expected the shared runner to keep one pool across grids"
+    for fresh, shared in zip(fresh_results, shared_results):
+        assert fresh.signatures() == shared.signatures()
+    # The shared session can only save work; allow generous noise headroom so
+    # single-core CI boxes (where both modes are fork-cheap) stay green.
+    assert shared_s < fresh_s * 1.5 + 2.0

@@ -263,6 +263,10 @@ def _cmd_scenario_grid(args: argparse.Namespace) -> int:
     print()
     print("messaging_s (observed makespan) vs total_s (analytic critical path):\n")
     print(ScenarioRunner.format_comparison(result))
+    if result.seed_aggregate_rows():
+        print()
+        print("per-cell mean/stddev across the seed axis:\n")
+        print(ScenarioRunner.format_seed_aggregate(result))
     if args.report is not None:
         paths = result.write_report(args.report)
         print()

@@ -8,6 +8,7 @@ binds everything to MQTT.
 
 from repro.core.aggregation import (
     AggregationStrategy,
+    ContributionBuffer,
     FedAvg,
     UniformAverage,
     CoordinateMedian,
@@ -55,6 +56,13 @@ from repro.core.role_optimizers import (
     available_policies,
 )
 from repro.core.roles import Role
+from repro.core.rounds import (
+    ClientRoundView,
+    LifecycleEvent,
+    RoundLifecycle,
+    RoundLifecycleError,
+    RoundPhase,
+)
 from repro.core.session import FLSession, SessionState
 from repro.core import topics
 
@@ -110,6 +118,12 @@ __all__ = [
     "get_policy",
     "available_policies",
     "Role",
+    "ClientRoundView",
+    "ContributionBuffer",
+    "LifecycleEvent",
+    "RoundLifecycle",
+    "RoundLifecycleError",
+    "RoundPhase",
     "FLSession",
     "SessionState",
     "topics",

@@ -34,11 +34,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import AggregationError
-from repro.ml.state import StateDict, flatten_state_dict, unflatten_state_dict
+from repro.ml.state import StateDict, flatten_state_dict, state_dict_nbytes, unflatten_state_dict
 from repro.utils.validation import require_in_range, require_positive
 
 __all__ = [
     "ModelContribution",
+    "ContributionBuffer",
     "AggregationStrategy",
     "FedAvg",
     "UniformAverage",
@@ -94,6 +95,122 @@ class ModelContribution:
         return (
             f"ModelContribution(sender={self.sender_id!r}, weight={self.weight}, "
             f"round={self.round_index}, epoch={self.epoch})"
+        )
+
+
+class ContributionBuffer:
+    """Aggregation inbox for one (client, session) pair.
+
+    The buffer subscribes to the round lifecycle's ordering rules rather than
+    re-implementing them: callers pass the epoch floor from their
+    :class:`~repro.core.rounds.ClientRoundView`, and the buffer enforces the
+    invariants that keep hierarchical FedAvg exact under failure recovery —
+
+    * contributions stamped with an epoch below the floor are refused
+      (pre-restart leftovers whose senders will re-send or were dropped),
+    * at most one contribution per (sender, round) is held: a re-send after a
+      round restart *replaces* the sender's previous update, and
+    * every byte of *peer* state held is charged against the owner's memory
+      through the :class:`~repro.sim.resources.ResourceAccountant` and
+      released exactly once — the owner's own update enters uncharged, so
+      releases must never be derived from the raw buffered total.
+    """
+
+    def __init__(self, owner_id: str, resources: Optional[object] = None) -> None:
+        self.owner_id = owner_id
+        self.resources = resources
+        self.pending: List[ModelContribution] = []
+        self.buffered_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def charged_nbytes(self, contributions: Sequence[ModelContribution]) -> int:
+        """Bytes of ``contributions`` that were charged to the accountant.
+
+        Only peer contributions are allocated against the owner's memory; its
+        own update enters the buffer uncharged.
+        """
+        return sum(
+            state_dict_nbytes(c.state) for c in contributions if c.sender_id != self.owner_id
+        )
+
+    def _release(self, nbytes: int) -> None:
+        if self.resources is not None and nbytes:
+            self.resources.release(self.owner_id, nbytes)
+
+    def add(self, contribution: ModelContribution, min_epoch: int, charge_memory: bool) -> bool:
+        """Buffer one contribution; returns False when it is stale.
+
+        A contribution below ``min_epoch`` was sent before a restart the owner
+        has already processed — buffering it would let a superseded update
+        leak into the restarted round.
+        """
+        if contribution.epoch < min_epoch:
+            return False
+        for index, existing in enumerate(self.pending):
+            if (
+                existing.sender_id == contribution.sender_id
+                and existing.round_index == contribution.round_index
+            ):
+                self.buffered_bytes -= state_dict_nbytes(existing.state)
+                self._release(self.charged_nbytes([existing]))
+                del self.pending[index]
+                break
+        self.pending.append(contribution)
+        nbytes = state_dict_nbytes(contribution.state)
+        self.buffered_bytes += nbytes
+        if charge_memory and self.resources is not None:
+            self.resources.allocate(self.owner_id, nbytes)
+        return True
+
+    def drop_stale_epochs(self, epoch: int) -> int:
+        """Drop contributions older than ``epoch`` (a processed restart)."""
+        if not self.pending:
+            return 0
+        kept = [c for c in self.pending if c.epoch >= epoch]
+        dropped = [c for c in self.pending if c.epoch < epoch]
+        self.pending[:] = kept
+        self.buffered_bytes = sum(state_dict_nbytes(c.state) for c in kept)
+        self._release(self.charged_nbytes(dropped))
+        return len(dropped)
+
+    def take(self, round_index: int, expected: int) -> Optional[List[ModelContribution]]:
+        """Pop the round's aggregation batch once the trigger count is met.
+
+        Returns ``None`` while fewer than ``expected`` contributions for
+        ``round_index`` are held.  Contributions from earlier rounds
+        (restarted and already superseded) are garbage-collected on a
+        successful take; later rounds' early arrivals stay buffered.
+        """
+        eligible = [c for c in self.pending if c.round_index == round_index]
+        if expected == 0 or len(eligible) < expected:
+            return None
+        batch = eligible[:expected]
+        remaining = [
+            c for c in self.pending if c not in batch and c.round_index >= round_index
+        ]
+        dropped = [
+            c for c in self.pending if c not in batch and c not in remaining
+        ]
+        self.pending[:] = remaining
+        self.buffered_bytes = sum(state_dict_nbytes(c.state) for c in remaining)
+        self._release(self.charged_nbytes(batch) + self.charged_nbytes(dropped))
+        return batch
+
+    def drain(self) -> List[ModelContribution]:
+        """Take everything held (e.g. to forward after losing the aggregator role)."""
+        pending = list(self.pending)
+        self.pending.clear()
+        released = self.charged_nbytes(pending)
+        self.buffered_bytes = 0
+        self._release(released)
+        return pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ContributionBuffer({self.owner_id!r}, pending={len(self.pending)}, "
+            f"bytes={self.buffered_bytes})"
         )
 
 

@@ -18,11 +18,11 @@ semi-decentralized FL session over MQTT.  Internally the client contains:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.aggregation import (
     AggregationStrategy,
+    ContributionBuffer,
     ModelContribution,
     get_aggregator,
 )
@@ -31,6 +31,7 @@ from repro.core.messages import ClientStatsReport, JoinRequest, RoleAssignment, 
 from repro.core.model_controller import ModelController
 from repro.core.role_arbiter import RoleArbiter, TopicChange
 from repro.core.roles import Role
+from repro.core.rounds import ClientRoundView
 from repro.core.topics import (
     aggregator_params_topic,
     client_call_topic,
@@ -53,25 +54,80 @@ from repro.utils.identifiers import validate_identifier
 __all__ = ["SDFLMQClient", "SessionParticipation"]
 
 
-@dataclass
 class SessionParticipation:
-    """Client-side view of one session it contributes to."""
+    """Client-side view of one session it contributes to.
 
-    session_id: str
-    model_name: str
-    fl_rounds: int
-    aggregation: str = "fedavg"
-    current_round: int = 0
-    completed: bool = False
-    awaited_global_version: int = 0
-    pending_contributions: List[ModelContribution] = field(default_factory=list)
-    buffered_bytes: int = 0
-    own_contribution_sent: bool = False
-    aggregations_performed: int = 0
-    uploads_sent: int = 0
-    #: Highest ``round_restart`` epoch processed; contributions stamped with
-    #: an older epoch are stale and dropped (see ``_handle_round_restart``).
-    restart_epoch: int = 0
+    Round state (current round, restart epoch, upload/await bookkeeping)
+    lives in :attr:`rounds` — the client's message-derived
+    :class:`~repro.core.rounds.ClientRoundView` of the coordinator's round
+    lifecycle — and the aggregation inbox lives in :attr:`buffer`
+    (:class:`~repro.core.aggregation.ContributionBuffer`).  The flat
+    attribute surface (``current_round``, ``restart_epoch``,
+    ``pending_contributions``, …) is preserved as delegating properties.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        model_name: str,
+        fl_rounds: int,
+        aggregation: str = "fedavg",
+        owner_id: str = "?",
+        resources: Optional[ResourceAccountant] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.model_name = model_name
+        self.fl_rounds = fl_rounds
+        self.aggregation = aggregation
+        self.rounds = ClientRoundView()
+        self.buffer = ContributionBuffer(owner_id, resources=resources)
+        self.aggregations_performed = 0
+
+    # Flat legacy surface, delegated to the view / buffer --------------------
+
+    @property
+    def current_round(self) -> int:
+        """The FL round this client believes the session is in."""
+        return self.rounds.current_round
+
+    @current_round.setter
+    def current_round(self, value: int) -> None:
+        self.rounds.current_round = int(value)
+
+    @property
+    def restart_epoch(self) -> int:
+        """Highest ``round_restart`` epoch processed (stale contributions are dropped)."""
+        return self.rounds.restart_epoch
+
+    @property
+    def awaited_global_version(self) -> int:
+        """Global model version the client expects after its last upload."""
+        return self.rounds.awaited_global_version
+
+    @property
+    def own_contribution_sent(self) -> bool:
+        """Whether this round's own update already entered the local buffer."""
+        return self.rounds.own_contribution_sent
+
+    @property
+    def uploads_sent(self) -> int:
+        """Local updates uploaded so far (including restart re-sends)."""
+        return self.rounds.uploads_sent
+
+    @property
+    def completed(self) -> bool:
+        """Whether the coordinator announced session completion."""
+        return self.rounds.completed
+
+    @property
+    def pending_contributions(self) -> List[ModelContribution]:
+        """Buffered peer contributions (the buffer's live list)."""
+        return self.buffer.pending
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes of contribution state currently buffered."""
+        return self.buffer.buffered_bytes
 
 
 class SDFLMQClient:
@@ -133,6 +189,11 @@ class SDFLMQClient:
         self._aggregators: Dict[str, AggregationStrategy] = {}
         self.bytes_uploaded = 0
         self.bytes_aggregated = 0
+        #: Optional hook fired after a coordinator ``set_role`` is applied
+        #: (``hook(client_id, session_id, assignment)``).  The experiment
+        #: harness uses it to trigger a mid-round-admitted client's first
+        #: upload once it actually holds a role.
+        self.on_role_assigned: Optional[Callable[[str, str, RoleAssignment], None]] = None
 
         # Private control functions every client serves.
         self.endpoint.register("set_role", self._handle_set_role, client_call_topic(client_id, "set_role"))
@@ -268,8 +329,7 @@ class SDFLMQClient:
         self.models.note_local_update(session_id)
         weight = float(max(1, record.num_samples))
         payload_bytes = state_dict_nbytes(state)
-        participation.awaited_global_version = self.models.global_version(session_id) + 1
-        participation.uploads_sent += 1
+        participation.rounds.note_upload(self.models.global_version(session_id))
         self.bytes_uploaded += payload_bytes
 
         contribution = ModelContribution(
@@ -281,7 +341,7 @@ class SDFLMQClient:
         )
         role_state = self.arbiter.state(session_id) if self.arbiter.has_session(session_id) else None
         if role_state is not None and role_state.role.aggregates:
-            participation.own_contribution_sent = True
+            participation.rounds.own_contribution_sent = True
             self._buffer_contribution(session_id, contribution, charge_memory=False)
         else:
             parent = role_state.parent_id if role_state is not None else None
@@ -374,6 +434,8 @@ class SDFLMQClient:
                 model_name=model_name,
                 fl_rounds=fl_rounds,
                 aggregation=aggregation,
+                owner_id=self.client_id,
+                resources=self.resources,
             )
             self.arbiter.ensure_session(session_id)
             self._subscribe_session_topics(session_id)
@@ -422,8 +484,10 @@ class SDFLMQClient:
         change = self.arbiter.apply_assignment(assignment)
         self._apply_topic_change(session_id, change)
         participation = self._participation(session_id)
-        participation.current_round = max(participation.current_round, assignment.round_index)
+        participation.rounds.observe_round(assignment.round_index)
         self._reconcile_pending(session_id)
+        if self.on_role_assigned is not None:
+            self.on_role_assigned(self.client_id, session_id, assignment)
 
     def _reconcile_pending(self, session_id: str) -> None:
         """Re-route buffered contributions after a mid-round role change.
@@ -436,7 +500,7 @@ class SDFLMQClient:
         is stranded.
         """
         participation = self._participation(session_id)
-        if not participation.pending_contributions or not self.arbiter.has_session(session_id):
+        if not participation.buffer.pending or not self.arbiter.has_session(session_id):
             return
         role_state = self.arbiter.state(session_id)
         if role_state.role.aggregates:
@@ -444,13 +508,7 @@ class SDFLMQClient:
             return
         if role_state.parent_id is None:
             return  # idle / unknown destination: keep the buffer until reassigned
-        pending = list(participation.pending_contributions)
-        participation.pending_contributions.clear()
-        released = self._charged_nbytes(pending)
-        participation.buffered_bytes = 0
-        if self.resources is not None and released:
-            self.resources.release(self.client_id, released)
-        for contribution in pending:
+        for contribution in participation.buffer.drain():
             self._publish_contribution(session_id, role_state.parent_id, contribution)
 
     def _handle_reset_role(self, session_id: str) -> None:
@@ -474,41 +532,32 @@ class SDFLMQClient:
 
     def _handle_session_control(self, session_id: str, notice: dict) -> None:
         participation = self._participation(session_id)
+        rounds = participation.rounds
         event = notice.get("event", "")
         if event == "cluster_topology":
             aggregation = notice.get("aggregation")
             if aggregation:
                 participation.aggregation = str(aggregation)
                 self._aggregators.pop(session_id, None)
-            participation.current_round = max(
-                participation.current_round, int(notice.get("round_index", 0))
-            )
-            self._sync_restart_epoch(participation, notice)
+            rounds.observe_round(int(notice.get("round_index", 0)))
+            # A client that (re)joined after a mid-round restart never saw the
+            # round_restart notice; syncing the epoch piggybacked on topology
+            # and round_advanced broadcasts keeps its uploads from being
+            # discarded as pre-restart leftovers.
+            rounds.observe_epoch(int(notice.get("restart_epoch", 0)))
         elif event == "round_advanced":
-            participation.current_round = int(notice.get("round_index", participation.current_round))
-            participation.own_contribution_sent = False
-            self._sync_restart_epoch(participation, notice)
+            rounds.round_advanced(
+                int(notice.get("round_index", rounds.current_round)),
+                epoch=int(notice.get("restart_epoch", 0)),
+            )
         elif event == "round_restart":
             self._handle_round_restart(
                 session_id,
-                int(notice.get("round_index", participation.current_round)),
-                epoch=int(notice.get("epoch", participation.restart_epoch + 1)),
+                int(notice.get("round_index", rounds.current_round)),
+                epoch=int(notice.get("epoch", rounds.restart_epoch + 1)),
             )
         elif event in ("session_complete", "session_terminated"):
-            participation.completed = True
-
-    @staticmethod
-    def _sync_restart_epoch(participation: SessionParticipation, notice: dict) -> None:
-        """Adopt the coordinator's restart epoch from a session broadcast.
-
-        A client that (re)joined after a mid-round restart never saw the
-        ``round_restart`` notice; without this sync its uploads would carry a
-        stale epoch and be discarded by up-to-date aggregators as
-        pre-restart leftovers — stalling the round it just joined.
-        """
-        participation.restart_epoch = max(
-            participation.restart_epoch, int(notice.get("restart_epoch", 0))
-        )
+            rounds.completed = True
 
     def _handle_round_restart(self, session_id: str, round_index: int, epoch: int = 0) -> None:
         """Recover from a mid-round contributor loss (coordinator-initiated).
@@ -528,25 +577,14 @@ class SDFLMQClient:
         with every survivor waiting on a contribution nobody would re-send.
         """
         participation = self._participation(session_id)
-        if epoch <= participation.restart_epoch:
+        if not participation.rounds.observe_restart(round_index, epoch):
             return  # duplicate or out-of-date restart notice
-        participation.restart_epoch = epoch
-        participation.current_round = max(participation.current_round, round_index)
+        participation.buffer.drop_stale_epochs(epoch)
 
-        if participation.pending_contributions:
-            kept = [c for c in participation.pending_contributions if c.epoch >= epoch]
-            dropped = [c for c in participation.pending_contributions if c.epoch < epoch]
-            participation.pending_contributions[:] = kept
-            participation.buffered_bytes = sum(state_dict_nbytes(c.state) for c in kept)
-            released = self._charged_nbytes(dropped)
-            if self.resources is not None and released:
-                self.resources.release(self.client_id, released)
-        participation.own_contribution_sent = False
-
-        already_uploaded = participation.uploads_sent > 0
+        already_uploaded = participation.rounds.uploads_sent > 0
         still_waiting = (
             self.models.has_model(session_id)
-            and self.models.global_version(session_id) < participation.awaited_global_version
+            and participation.rounds.awaiting_global(self.models.global_version(session_id))
         )
         if already_uploaded and still_waiting:
             self.send_local(session_id)
@@ -582,44 +620,13 @@ class SDFLMQClient:
         self, session_id: str, contribution: ModelContribution, charge_memory: bool
     ) -> None:
         participation = self._participation(session_id)
-        if contribution.epoch < participation.restart_epoch:
-            # Sent before a restart this client has already processed: the
-            # sender will re-send (or has been dropped), so buffering it would
-            # let a superseded update leak into the restarted round.
-            return
-        # At most one contribution per (sender, round): a re-send after a
-        # round restart replaces whatever that sender had contributed before,
-        # which keeps FedAvg weights correct under failure recovery.
-        for index, existing in enumerate(participation.pending_contributions):
-            if (
-                existing.sender_id == contribution.sender_id
-                and existing.round_index == contribution.round_index
-            ):
-                participation.buffered_bytes -= state_dict_nbytes(existing.state)
-                if self.resources is not None:
-                    self.resources.release(self.client_id, self._charged_nbytes([existing]))
-                del participation.pending_contributions[index]
-                break
-        participation.pending_contributions.append(contribution)
-        nbytes = state_dict_nbytes(contribution.state)
-        participation.buffered_bytes += nbytes
-        if charge_memory and self.resources is not None:
-            self.resources.allocate(self.client_id, nbytes)
+        if not participation.buffer.add(
+            contribution,
+            min_epoch=participation.rounds.restart_epoch,
+            charge_memory=charge_memory,
+        ):
+            return  # pre-restart leftover: the sender re-sends or was dropped
         self._maybe_aggregate(session_id)
-
-    def _charged_nbytes(self, contributions: List[ModelContribution]) -> int:
-        """Bytes of ``contributions`` that were charged to the accountant.
-
-        Only peer contributions are allocated against this client's memory
-        (``charge_memory=True`` in ``_handle_receive_model``); the client's
-        own update enters the buffer uncharged via ``send_local``.  Releases
-        must follow the same rule — ``buffered_bytes`` totals *all* buffered
-        state, so releasing deltas of it would return bytes that were never
-        allocated and silently reset the accountant's in-use level.
-        """
-        return sum(
-            state_dict_nbytes(c.state) for c in contributions if c.sender_id != self.client_id
-        )
 
     def _expected_buffer_size(self, session_id: str) -> int:
         role_state = self.arbiter.state(session_id)
@@ -636,33 +643,17 @@ class SDFLMQClient:
         expected = self._expected_buffer_size(session_id)
         # Only contributions belonging to the round currently in progress count
         # toward the trigger; anything stale (earlier rounds that were restarted
-        # and already superseded) is ignored and garbage-collected below.
-        current = participation.current_round
-        eligible = [c for c in participation.pending_contributions if c.round_index == current]
-        if expected == 0 or len(eligible) < expected:
+        # and already superseded) is garbage-collected by the buffer's take.
+        contributions = participation.buffer.take(participation.current_round, expected)
+        if contributions is None:
             return
 
-        contributions = eligible[:expected]
-        remaining = [
-            c for c in participation.pending_contributions
-            if c not in contributions and c.round_index >= current
-        ]
-        dropped = [
-            c for c in participation.pending_contributions
-            if c not in contributions and c not in remaining
-        ]
-        participation.pending_contributions[:] = remaining
         strategy = self._aggregator_for(session_id)
         aggregated = strategy.aggregate(contributions)
         total_weight = sum(c.weight for c in contributions)
         round_index = max(c.round_index for c in contributions)
         self.bytes_aggregated += sum(state_dict_nbytes(c.state) for c in contributions)
         participation.aggregations_performed += 1
-
-        participation.buffered_bytes = sum(state_dict_nbytes(c.state) for c in remaining)
-        released = self._charged_nbytes(contributions) + self._charged_nbytes(dropped)
-        if self.resources is not None and released:
-            self.resources.release(self.client_id, released)
 
         result = ModelContribution(
             state=aggregated,

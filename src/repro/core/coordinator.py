@@ -99,6 +99,10 @@ class Coordinator:
         self.role_messages_sent = 0
         self.rebalances = 0
         self.clients_dropped = 0
+        self.mid_round_restarts = 0
+        #: Clients whose next join should be treated as a *mid-round* arrival
+        #: (see :meth:`note_mid_round_join`).
+        self._mid_round_joins: set = set()
 
         # Client liveness: presence topics carry plain "online"/"offline"
         # markers (retained / last-will), outside the MQTTFC framing.
@@ -170,8 +174,27 @@ class Coordinator:
 
     # ------------------------------------------------------ RFC: join session
 
+    def note_mid_round_join(self, client_id: str) -> None:
+        """Flag ``client_id``'s next join as a mid-round arrival.
+
+        A real deployment would carry this on the join request itself; the
+        simulation keeps the wire format byte-stable (message sizes feed the
+        delivery-latency model) and signals out-of-band instead.  A flagged
+        join that lands while the round is still collecting folds the joiner
+        in *and* restarts the round, so contributions shuffled mid-flight by
+        the re-plan are re-sent under the new topology and the joiner's own
+        upload is counted — the restart-epoch machinery guarantees stale
+        pre-fold uploads cannot leak into the restarted round.
+        """
+        self._mid_round_joins.add(client_id)
+
     def _handle_join_session(self, join_dict: dict) -> dict:
         join = JoinRequest.from_dict(join_dict)
+        # Consume the mid-round marker no matter how the join resolves: a
+        # rejected join must not leave a stale flag that would turn the
+        # client's next (boundary) join into a spurious round restart.
+        mid_round = join.client_id in self._mid_round_joins
+        self._mid_round_joins.discard(join.client_id)
         session = self.sessions.get(join.session_id)
         if session is None:
             return JoinAck(
@@ -198,9 +221,13 @@ class Coordinator:
             # Late join into a running session (flash-crowd arrival, or a
             # dropped client returning): fold the newcomer into the topology
             # immediately — the mirror image of the offline re-plan — so it
-            # holds a role before the next round's uploads start.  Joins land
-            # at round boundaries (the scenario runner guarantees this), so no
-            # in-flight contributions are invalidated and no restart is needed.
+            # holds a role before its first uploads start.  The lifecycle
+            # roster tolerates the addition in any phase (the ADMIT
+            # transition), and the only_changed assignment pass re-issues the
+            # expected-contribution counts of the aggregators whose cluster
+            # grew — which is exactly what lets a *mid-round* joiner's upload
+            # be awaited instead of stranded.  No in-flight contribution is
+            # invalidated, so no restart is needed.
             result = self.load_balancer.plan(
                 session_id=session.session_id,
                 client_ids=session.contributors,
@@ -213,6 +240,27 @@ class Coordinator:
             self._announce_topology(session)
             self._record("client_late_join", session.session_id, detail=join.client_id,
                          round_index=session.round_index)
+            if mid_round and session.global_versions <= session.round_index:
+                # The join landed while the round's uploads were in flight:
+                # the fold may have re-parented senders whose contributions
+                # are already routed to the old tree, and the joiner's own
+                # upload must be awaited.  Restart the round exactly as for a
+                # mid-round departure — survivors re-send under the new
+                # topology, stamped with the bumped epoch.
+                epoch = session.lifecycle.restart()
+                self._broadcast(
+                    session,
+                    {
+                        "event": "round_restart",
+                        "round_index": session.round_index,
+                        "epoch": epoch,
+                    },
+                )
+                self._record("round_restart", session.session_id,
+                             round_index=session.round_index,
+                             detail=f"after {join.client_id} joined mid-round")
+                session.lifecycle.resume()
+                self.mid_round_restarts += 1
         return JoinAck(
             session_id=join.session_id, client_id=join.client_id, accepted=True, contributors=count
         ).to_dict()
@@ -291,17 +339,18 @@ class Coordinator:
             # Restart the round: survivors clear their aggregation buffers and
             # re-send their local updates under the new topology.
             if session.global_versions <= session.round_index:
-                session.restart_epochs += 1
+                epoch = session.lifecycle.restart()
                 self._broadcast(
                     session,
                     {
                         "event": "round_restart",
                         "round_index": session.round_index,
-                        "epoch": session.restart_epochs,
+                        "epoch": epoch,
                     },
                 )
                 self._record("round_restart", session.session_id, round_index=session.round_index,
                              detail=f"after {client_id} left")
+                session.lifecycle.resume()
         if touched:
             self.clients_dropped += 1
 
@@ -321,6 +370,7 @@ class Coordinator:
         session.topology = result.topology
         self._announce_topology(session)
         self._send_assignments(result, session)
+        session.lifecycle.roles_announced()
         self._record(
             "session_started",
             session.session_id,
@@ -367,6 +417,7 @@ class Coordinator:
             self.rebalances += 1
             self._send_assignments(result, session, only_changed=True)
             self._announce_topology(session)
+        session.lifecycle.roles_announced()
         self._broadcast(
             session,
             {

@@ -19,11 +19,13 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from statistics import mean, pstdev
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "format_table",
     "format_series",
+    "grid_seed_aggregate_rows",
     "grid_summary_rows",
     "messaging_vs_analytic_rows",
     "rows_to_csv",
@@ -177,6 +179,67 @@ def _compact_json(value: object) -> str:
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
+#: Metrics aggregated across seeds: (cell attribute, emit stddev column).
+_SEED_AGGREGATE_METRICS: Tuple[Tuple[str, bool], ...] = (
+    ("final_accuracy", True),
+    ("total_s", True),
+    ("messaging_s", True),
+    ("messages", False),
+    ("traffic_bytes", False),
+    ("stragglers_cut", False),
+)
+
+#: Column names under which each aggregated metric is reported.
+_SEED_AGGREGATE_LABELS: Dict[str, str] = {"final_accuracy": "accuracy"}
+
+
+def grid_seed_aggregate_rows(cells: Sequence[object]) -> List[Dict[str, object]]:
+    """Aggregate a seed-swept grid: one row per non-seed coordinate combo.
+
+    When a grid carries a ``seed`` axis, the per-cell table has one row per
+    (cell, seed) — useful for determinism checks, noisy for analysis.  This
+    helper groups the cells by their *non-seed* coordinates (in axis order)
+    and emits mean/stddev columns (population stddev; a single seed yields
+    0.0) for the headline metrics, plus the seed count, so each grid point
+    reads as one row with its across-seed variability attached.
+
+    Returns ``[]`` when the cells carry no ``seed`` coordinate — the caller
+    can treat the presence of rows as "this grid was seed-swept".
+    """
+    groups: Dict[Tuple[Tuple[str, object], ...], List[object]] = {}
+    for cell in cells:
+        if "seed" not in cell.coordinates:
+            return []
+        key = tuple(
+            (path, _freeze(value))
+            for path, value in cell.coordinates.items()
+            if path != "seed"
+        )
+        groups.setdefault(key, []).append(cell)
+
+    rows: List[Dict[str, object]] = []
+    for key, group in groups.items():
+        row: Dict[str, object] = {}
+        for path, value in key:
+            row[path] = value if not isinstance(value, (dict, list)) else _compact_json(value)
+        row["seeds"] = len(group)
+        for attribute, with_std in _SEED_AGGREGATE_METRICS:
+            values = [float(getattr(cell, attribute)) for cell in group]
+            label = _SEED_AGGREGATE_LABELS.get(attribute, attribute)
+            row[f"{label}_mean"] = mean(values)
+            if with_std:
+                row[f"{label}_std"] = pstdev(values)
+        rows.append(row)
+    return rows
+
+
+def _freeze(value: object) -> object:
+    """Make a coordinate value usable as part of a grouping key."""
+    if isinstance(value, (dict, list)):
+        return _compact_json(value)
+    return value
+
+
 def write_grid_report(cells: Sequence[object], out_dir: str) -> Dict[str, str]:
     """Write the full grid report bundle into ``out_dir``; return the paths.
 
@@ -184,7 +247,10 @@ def write_grid_report(cells: Sequence[object], out_dir: str) -> Dict[str, str]:
     the messaging-vs-analytic comparison as ``messaging_vs_analytic.csv`` +
     ``messaging_vs_analytic.md``, and ``signatures.txt`` — one
     ``index  sha256`` line per cell, the artefact the CI grid smoke compares
-    against its committed golden file.  Output is byte-identical for
+    against its committed golden file.  Grids swept over a ``seed`` axis
+    additionally get ``seed_aggregate.csv`` + ``seed_aggregate.md`` — one
+    row per non-seed grid point with mean/stddev columns (see
+    :func:`grid_seed_aggregate_rows`).  Output is byte-identical for
     byte-identical cell results, regardless of how many workers produced
     them.
     """
@@ -199,6 +265,10 @@ def write_grid_report(cells: Sequence[object], out_dir: str) -> Dict[str, str]:
         "messaging_vs_analytic.md": rows_to_markdown(comparison) + "\n",
         "signatures.txt": signatures,
     }
+    seed_aggregate = grid_seed_aggregate_rows(cells)
+    if seed_aggregate:
+        outputs["seed_aggregate.csv"] = rows_to_csv(seed_aggregate)
+        outputs["seed_aggregate.md"] = rows_to_markdown(seed_aggregate) + "\n"
     paths: Dict[str, str] = {}
     for name, content in outputs.items():
         path = os.path.join(out_dir, name)

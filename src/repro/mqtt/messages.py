@@ -117,3 +117,9 @@ class DeliveryRecord:
     deliver_at: float = 0.0
     duplicate: bool = False
     sequence: int = field(default=-1)
+    #: The network-model delivery time before any per-connection FIFO clamp
+    #: was applied (``None`` when the record was never clamped).  When an
+    #: earlier delivery on the same logical connection is cancelled, the
+    #: scheduler re-runs the clamp from this value so the cancelled
+    #: predecessor's slot is actually released.
+    unclamped_deliver_at: Optional[float] = None

@@ -28,6 +28,7 @@ from repro.core.clustering import ClusteringConfig
 from repro.core.coordinator import Coordinator, CoordinatorConfig
 from repro.core.parameter_server import ParameterServer
 from repro.core.role_optimizers import get_policy
+from repro.core.rounds import RoundLifecycle, RoundPhase
 from repro.core.session import SessionState
 from repro.core.topics import SDFLMQ_ROOT
 from repro.ml.data import ArrayDataset, DataLoader, train_test_split
@@ -246,9 +247,16 @@ class FLExperiment:
         self.test_set: ArrayDataset
         self.delay_model: CriticalPathDelayModel
         self.cost_model: CostModel = cost_model or CostModel()
+        #: The coordinator's round-lifecycle state machine for the session —
+        #: the single home of phase, restart epoch, roster and deadline state.
+        #: Populated by setup(); scenario fault plans subscribe to it for
+        #: round-anchored windows.
+        self.lifecycle: RoundLifecycle
         self._client_brokers: Dict[str, MQTTBroker] = {}
+        self._pending_midround_uploads: set = set()
         self.stragglers_cut_total = 0
         self.clients_admitted = 0
+        self.midround_admissions = 0
 
     # -------------------------------------------------------------- datasets
 
@@ -388,6 +396,7 @@ class FLExperiment:
                 resources=self.resources,
                 pump=self.pump.run_until_idle,
             )
+            client.on_role_assigned = self._client_role_assigned
             self.clients.append(client)
             self.pump.register(client.mqtt)
 
@@ -443,6 +452,7 @@ class FLExperiment:
                 num_samples=len(self.client_datasets[client.client_id]),
             )
 
+        self.lifecycle = session.lifecycle
         self.delay_model = CriticalPathDelayModel(self.fleet, self.cost_model, self.network)
         self._built = True
         return self
@@ -640,6 +650,83 @@ class FLExperiment:
         self._drain_control(config.session_id)
         self.clients_admitted += 1
 
+    def admit_client_mid_round(self, client_id: str) -> None:
+        """Connect and join a latent/crashed client *inside* a running round.
+
+        Unlike :meth:`admit_client` this never drains the scheduler: the join
+        handshake's messages flow through the ongoing round's event drain in
+        strict time order.  The coordinator folds the newcomer into the
+        topology on its ADMIT transition and re-issues the grown aggregators'
+        expected-contribution counts; once the newcomer's ``set_role`` lands,
+        :meth:`_client_role_assigned` triggers its first training + upload so
+        the re-issued counts are actually met.
+        """
+        config = self.config
+        session = self.coordinator.session(config.session_id)
+        if not session.is_active:
+            return  # the session completed/terminated before the admission fired
+        client = self.client_by_id(client_id)
+        if client.mqtt.connected:
+            return
+        client.connect(self._client_brokers[client_id])
+        # Tell the coordinator this join is a mid-round arrival (out-of-band,
+        # so the join request's wire size — and with it every modelled
+        # delivery latency — stays identical to a boundary join's).
+        self.coordinator.note_mid_round_join(client_id)
+        # Suppress the auto-pump: draining here would fast-forward the very
+        # round this admission is supposed to land inside.
+        pump_fn, client.pump = client.pump, None
+        try:
+            client.join_fl_session(
+                session_id=config.session_id,
+                fl_rounds=config.fl_rounds,
+                model_name=config.model_name,
+                num_samples=len(self.client_datasets[client_id]),
+            )
+        finally:
+            client.pump = pump_fn
+        if not client.models.has_model(config.session_id):
+            client.set_model(
+                config.session_id,
+                self.client_models[client_id],
+                num_samples=len(self.client_datasets[client_id]),
+            )
+        self._pending_midround_uploads.add(client_id)
+        self.clients_admitted += 1
+        self.midround_admissions += 1
+
+    def _client_role_assigned(self, client_id: str, session_id: str, assignment) -> None:
+        """First-upload trigger for mid-round admissions (set_role hook).
+
+        Fires for every applied ``set_role``; only clients flagged by
+        :meth:`admit_client_mid_round` react.  The upload is skipped when the
+        round has already moved past the point where a new contribution can
+        be aggregated — the lifecycle left COLLECTING, the client already
+        uploaded this round, or it already holds this round's global model —
+        in which case the newcomer simply participates from the next round.
+        """
+        if session_id != self.config.session_id:
+            return
+        if client_id not in self._pending_midround_uploads:
+            return
+        self._pending_midround_uploads.discard(client_id)
+        client = self.client_by_id(client_id)
+        participation = client.participation(session_id)
+        if self.lifecycle.phase is not RoundPhase.COLLECTING:
+            return
+        record = client.models.record(session_id)
+        if record.last_global_round >= participation.current_round:
+            return  # already synced for this round: nothing left to contribute
+        if participation.rounds.awaiting_global(client.models.global_version(session_id)):
+            return  # an upload for this round is already in flight
+        # The coordinator restarted the round when it folded this joiner in;
+        # the restart notice is still in flight behind the set_role, so sync
+        # the epoch from the authoritative lifecycle — an upload stamped with
+        # the pre-fold epoch would be discarded as a stale leftover.
+        participation.rounds.observe_epoch(self.lifecycle.epoch)
+        self._train_client(client_id)
+        client.send_local(session_id)
+
     # ---------------------------------------------------- deadline-driven rounds
 
     def _round_complete(self, session_id: str) -> bool:
@@ -666,10 +753,13 @@ class FLExperiment:
         """
         config = self.config
         done = lambda: self._round_complete(session_id)  # noqa: E731
-        deadline = self.clock.now() + float(config.round_deadline_s or 0.0)
+        deadline = self.lifecycle.arm_deadline(
+            self.clock.now(), float(config.round_deadline_s or 0.0)
+        )
         self.scheduler.run_until_time(deadline, stop_when=done)
         if done():
             return
+        self.lifecycle.deadline_expired()
         self._cutoff_stragglers(session_id)
         self.scheduler.run_until_quiet()
         if not done():

@@ -199,6 +199,10 @@ class EventScheduler:
             key = (record.message.sender_id, record.subscriber_id)
             tail = self._fifo_tails.get(key)
             if tail is not None and record.deliver_at < tail:
+                # Remember the unclamped time: if the delivery ahead of us is
+                # later cancelled, cancel_deliveries re-clamps from here.
+                if record.unclamped_deliver_at is None:
+                    record.unclamped_deliver_at = record.deliver_at
                 record.deliver_at = tail
             self._fifo_tails[key] = record.deliver_at
         heapq.heappush(
@@ -275,25 +279,71 @@ class EventScheduler:
             else:
                 kept.append(entry)
         if cancelled:
-            heapq.heapify(kept)
-            self._heap = kept
             self._heap_deliveries -= cancelled
             self.deliveries_cancelled += cancelled
-            # Rebuild the FIFO tails of the affected connections from what is
-            # still in flight, so a cancelled far-future delivery (a cut-off
-            # straggler's upload) cannot clamp that pair's future traffic.
+            # Release the affected connections' FIFO clamp slots: drop the
+            # cancelled tails, then re-run the clamp for the surviving
+            # deliveries of those pairs from their *unclamped* times — a
+            # survivor that was queued behind a cancelled far-future upload
+            # (or the pair's next-round traffic) must not stay pushed back by
+            # a message that no longer exists.
             for pair in cancelled_pairs:
                 self._fifo_tails.pop(pair, None)
-            for entry in kept:
-                if entry[3] != _KIND_DELIVERY:
-                    continue
-                record = entry[4][1]  # type: ignore[index]
-                pair = (record.message.sender_id, record.subscriber_id)
-                if pair in cancelled_pairs:
-                    tail = self._fifo_tails.get(pair)
-                    if tail is None or record.deliver_at > tail:
-                        self._fifo_tails[pair] = record.deliver_at
+            kept = self._reclamp_pairs(kept, cancelled_pairs)
+            heapq.heapify(kept)
+            self._heap = kept
         return cancelled
+
+    def _reclamp_pairs(
+        self,
+        entries: List[Tuple[float, int, int, int, object]],
+        pairs: set,
+    ) -> List[Tuple[float, int, int, int, object]]:
+        """Re-run the per-connection FIFO clamp for ``pairs`` after a cancel.
+
+        Surviving deliveries of each pair are re-clamped in enqueue order
+        starting from each record's original (pre-clamp) ``deliver_at``, and
+        the pair's tail is rebuilt from the result.  Entries of other pairs
+        and timed actions pass through untouched.  A record whose re-clamped
+        time lands in the simulated past simply fires at the next drain step
+        — exactly how an inbox-collected record behaves.
+        """
+        affected: Dict[Tuple[Optional[str], str], List[int]] = {}
+        for index, entry in enumerate(entries):
+            if entry[3] != _KIND_DELIVERY:
+                continue
+            record = entry[4][1]  # type: ignore[index]
+            pair = (record.message.sender_id, record.subscriber_id)
+            if pair in pairs:
+                affected.setdefault(pair, []).append(index)
+        if not affected:
+            return entries
+        replacements: Dict[int, Tuple[float, int, int, int, object]] = {}
+        for pair, indices in affected.items():
+            tail: Optional[float] = None
+            # Enqueue order (entry[2]) is scheduling order for the pair.
+            for index in sorted(indices, key=lambda i: entries[i][2]):
+                due, sequence, enqueue_index, kind, payload = entries[index]
+                record = payload[1]  # type: ignore[index]
+                base = (
+                    record.unclamped_deliver_at
+                    if record.unclamped_deliver_at is not None
+                    else record.deliver_at
+                )
+                if self.fifo_per_connection and tail is not None and base < tail:
+                    new_due = tail
+                else:
+                    new_due = base
+                    record.unclamped_deliver_at = None  # no longer clamped
+                record.deliver_at = new_due
+                tail = new_due
+                if new_due != due:
+                    replacements[index] = (new_due, sequence, enqueue_index, kind, payload)
+            if tail is not None:
+                self._fifo_tails[pair] = tail
+        if not replacements:
+            return entries
+        return [replacements.get(i, entry) for i, entry in enumerate(entries)]
 
     @property
     def trace_digest(self) -> Optional[str]:

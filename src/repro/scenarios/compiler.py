@@ -121,21 +121,35 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
                 ),
             )
 
-    # Timed departures run on the scheduler; arrivals wait for round
-    # boundaries, where the coordinator can fold them into the topology
-    # without stranding an in-flight round.
+    # Timed departures run on the scheduler.  Arrivals depend on the fleet's
+    # admission policy: ``round_boundary`` (default) queues them until the
+    # coordinator can fold them into the topology between rounds, while
+    # ``mid_round`` turns them into timed actions that admit the joiner
+    # inside the running round — the coordinator re-issues the grown
+    # aggregators' expected-contribution counts on the ADMIT transition and
+    # the harness triggers the joiner's first upload once its role lands.
+    mid_round = spec.fleet.admission == "mid_round"
     departures = ChurnSchedule([e for e in spec.churn if e.action == "leave"])
-    admissions = sorted(
-        (e for e in spec.churn if e.action in ("join", "reconnect")),
-        key=lambda e: (e.time, e.client_id),
-    )
     departures.bind(
         experiment.scheduler,
         {"leave": lambda event: experiment.crash_client(event.client_id)},
         event_log=experiment.event_log,
     )
+    arrivals = [e for e in spec.churn if e.action in ("join", "reconnect")]
+    if mid_round:
+        admissions: List[ChurnEvent] = []
+        ChurnSchedule(arrivals).bind(
+            experiment.scheduler,
+            {
+                "join": lambda event: experiment.admit_client_mid_round(event.client_id),
+                "reconnect": lambda event: experiment.admit_client_mid_round(event.client_id),
+            },
+            event_log=experiment.event_log,
+        )
+    else:
+        admissions = sorted(arrivals, key=lambda e: (e.time, e.client_id))
 
-    injector = FaultInjector(experiment, spec.faults)
+    injector = FaultInjector(experiment, spec.faults, mid_round_admission=mid_round)
     injector.bind()
 
     return CompiledScenario(

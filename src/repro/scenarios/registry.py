@@ -194,6 +194,49 @@ def _flash_crowd() -> ScenarioSpec:
     )
 
 
+def _round2_blackout() -> ScenarioSpec:
+    # Round-anchored fault windows: both faults open relative to the moment
+    # the lifecycle enters round 2's collecting phase, so the spec survives
+    # deadline/fleet changes that would shift the wall clock under a
+    # wall-anchored plan.
+    return ScenarioSpec(
+        name="round2-blackout",
+        description="round-anchored blackout: links and broker degrade while round 2 collects",
+        seed=42,
+        fleet=FleetSpec(num_clients=6),
+        training=TrainingSpec(rounds=4, round_deadline_s=5.0),
+        faults=(
+            FaultSpec(kind="link_degradation", round=2, phase="collecting",
+                      duration_s=0.4, clients=("client_001", "client_004"),
+                      factor=0.05, latency_add_s=0.05,
+                      detail="regional backhaul outage opens with round 2"),
+            FaultSpec(kind="broker_slowdown", round=2, phase="collecting",
+                      start_s=0.05, duration_s=0.3, factor=40.0,
+                      detail="co-located batch job lands mid-blackout"),
+        ),
+    )
+
+
+def _mid_round_flash_crowd() -> ScenarioSpec:
+    # Mid-round admission: the joins land while round 0's uploads are still
+    # in flight; the coordinator folds each joiner into the live topology and
+    # re-issues the grown aggregators' expected-contribution counts, and the
+    # harness triggers the joiner's first upload once its set_role arrives.
+    return ScenarioSpec(
+        name="mid-round-flash-crowd",
+        description="half the fleet joins mid-round; admission folds them into the live topology",
+        seed=42,
+        fleet=FleetSpec(num_clients=10, initial_clients=5, admission="mid_round"),
+        training=TrainingSpec(rounds=4, round_deadline_s=5.0),
+        churn=tuple(
+            ChurnEvent(time=0.085 + 0.010 * (index - 5), action="join",
+                       client_id=f"client_{index:03d}",
+                       detail="flash-crowd arrival mid-round")
+            for index in range(5, 10)
+        ),
+    )
+
+
 for _builder in (
     _baseline,
     _heavy_churn,
@@ -201,5 +244,7 @@ for _builder in (
     _degraded_wan,
     _bridged_multi_region,
     _flash_crowd,
+    _round2_blackout,
+    _mid_round_flash_crowd,
 ):
     register_scenario(_builder)

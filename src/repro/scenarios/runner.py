@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.experiments.report import (
     format_table,
+    grid_seed_aggregate_rows,
     grid_summary_rows,
     messaging_vs_analytic_rows,
     write_grid_report,
@@ -198,6 +199,10 @@ class GridResult:
         """messaging-vs-analytic rows (see :func:`messaging_vs_analytic_rows`)."""
         return messaging_vs_analytic_rows(self.cells)
 
+    def seed_aggregate_rows(self) -> List[Dict[str, object]]:
+        """Across-seed mean/stddev rows; empty unless the grid has a seed axis."""
+        return grid_seed_aggregate_rows(self.cells)
+
     def write_report(self, out_dir: str) -> Dict[str, str]:
         """Write the CSV/markdown/signature bundle (see :func:`write_grid_report`)."""
         return write_grid_report(self.cells, out_dir)
@@ -217,6 +222,16 @@ def _run_grid_cell(payload: Tuple[int, Dict[str, object], Dict[str, object]]) ->
 class ScenarioRunner:
     """Runs one scenario, a named suite, or a parameter grid deterministically.
 
+    Grid cells fan out over a *persistent* ``multiprocessing`` pool: the
+    first ``run_grid`` call spins the workers up, and later calls with the
+    same worker count reuse them.  Under the ``spawn`` start method each
+    worker re-imports the full stack on startup, so many-grid sessions
+    (sweep studies, notebooks, the CLI looping over registry grids) would
+    otherwise pay that import once per grid — with the persistent pool they
+    pay it once per session.  Call :meth:`close` (or use the runner as a
+    context manager) to release the workers early; they are daemonic, so an
+    exiting interpreter reaps them regardless.
+
     Example
     -------
     >>> from repro.scenarios import ScenarioRunner
@@ -228,6 +243,43 @@ class ScenarioRunner:
     >>> grid.signatures() == runner.run_grid("deadline-tier-mix").signatures()
     True                                               # doctest: +SKIP
     """
+
+    def __init__(self) -> None:
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_workers = 0
+
+    # ----------------------------------------------------------- worker pool
+
+    def _worker_pool(self, workers: int) -> multiprocessing.pool.Pool:
+        """The persistent pool, (re)built when the worker count changes."""
+        if self._pool is not None and self._pool_workers == workers:
+            return self._pool
+        self.close()
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._pool = context.Pool(processes=workers)
+        self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "ScenarioRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def run(
         self, scenario: Union[str, ScenarioSpec], seed: Optional[int] = None
@@ -306,9 +358,11 @@ class ScenarioRunner:
 
         ``grid`` is a :class:`~repro.scenarios.sweep.SweepSpec` or a name
         from the grid registry.  With ``workers > 1`` the (independent,
-        deterministic) cells fan out over a ``multiprocessing`` pool; cells
-        are dispatched and results collected in cell-index order, and each
-        cell's signature depends only on its spec, so a 1-worker and an
+        deterministic) cells fan out over the runner's persistent
+        ``multiprocessing`` pool (kept alive across ``run_grid`` calls so a
+        many-grid session does not re-import the stack per grid per worker);
+        cells are dispatched and results collected in cell-index order, and
+        each cell's signature depends only on its spec, so a 1-worker and an
         N-worker run of the same grid produce byte-identical reports — the
         grid determinism tests and the CI smoke pin exactly that.
         """
@@ -322,10 +376,10 @@ class ScenarioRunner:
         if workers == 1 or len(payloads) <= 1:
             results = [_run_grid_cell(payload) for payload in payloads]
         else:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            with context.Pool(processes=min(workers, len(payloads))) as pool:
-                results = pool.map(_run_grid_cell, payloads, chunksize=1)
+            # Never spawn more workers than there are cells — idle processes
+            # still pay the full interpreter + import cost under spawn.
+            pool = self._worker_pool(min(workers, len(payloads)))
+            results = pool.map(_run_grid_cell, payloads, chunksize=1)
         elapsed = time.perf_counter() - start
         # pool.map already preserves payload order; the sort is a cheap
         # belt-and-braces guarantee that the determinism contract never
@@ -354,6 +408,11 @@ class ScenarioRunner:
     def format_comparison(grid: GridResult, precision: int = 4) -> str:
         """messaging-vs-analytic comparison table for one grid run."""
         return format_table(grid.comparison_rows(), precision=precision)
+
+    @staticmethod
+    def format_seed_aggregate(grid: GridResult, precision: int = 4) -> str:
+        """Across-seed mean/stddev table (empty-grid text without a seed axis)."""
+        return format_table(grid.seed_aggregate_rows(), precision=precision)
 
     # -------------------------------------------------------------- signature
 

@@ -24,10 +24,19 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.core.rounds import ANCHOR_PHASES
 from repro.sim.device import DEVICE_TIERS
 from repro.sim.events import ChurnEvent
 
+#: Admission policies for join/reconnect churn events.  ``round_boundary``
+#: queues arrivals until the next round boundary (the classic behaviour);
+#: ``mid_round`` admits them the moment their event time arrives — the
+#: coordinator folds the joiner into the running round's topology and
+#: re-issues the grown aggregators' expected-contribution counts.
+ADMISSION_POLICIES: Tuple[str, ...] = ("round_boundary", "mid_round")
+
 __all__ = [
+    "ADMISSION_POLICIES",
     "FAULT_KINDS",
     "FaultSpec",
     "FleetSpec",
@@ -97,6 +106,11 @@ class FleetSpec:
     when omitted every device is ``tier``.  ``initial_clients`` caps how many
     clients connect and join the session at setup — the remainder stay latent
     until a churn ``join`` event admits them (flash-crowd arrivals).
+    ``admission`` decides *when* join/reconnect events take effect:
+    ``round_boundary`` (default) queues them for the next boundary, while
+    ``mid_round`` admits them inside the running round — the coordinator
+    folds the joiner into the live topology and the grown aggregators'
+    expected-contribution counts are re-issued on the ADMIT transition.
     """
 
     num_clients: int = 6
@@ -104,8 +118,13 @@ class FleetSpec:
     tier_mix: Optional[Dict[str, float]] = None
     initial_clients: Optional[int] = None
     memory_pressure: float = 0.0
+    admission: str = "round_boundary"
 
     def __post_init__(self) -> None:
+        _require(
+            self.admission in ADMISSION_POLICIES,
+            f"unknown admission policy {self.admission!r}; options: {ADMISSION_POLICIES}",
+        )
         _require(int(self.num_clients) >= 1, f"num_clients must be >= 1, got {self.num_clients}")
         _require(
             self.tier in DEVICE_TIERS,
@@ -241,16 +260,26 @@ class FaultSpec:
     ``clients`` names the targets for the client-scoped kinds (empty tuple =
     every client); ``factor`` is the broker-cost multiplier for
     ``broker_slowdown`` and the bandwidth multiplier for the link kinds.
+
+    A fault is either *wall-anchored* or *round-anchored*.  Wall-anchored
+    (the default, ``round`` is ``None``): ``start_s`` is an absolute
+    simulated time.  Round-anchored (``{"round": 2, "phase": "collecting"}``):
+    the window opens when the session's round lifecycle first enters that
+    (round, phase), plus ``start_s`` as a relative offset — so the spec
+    survives deadline/fleet changes that shift the wall clock.  ``phase`` is
+    one of ``planning``, ``collecting``, ``aggregating``.
     """
 
     kind: str
-    start_s: float
+    start_s: float = 0.0
     duration_s: float = 0.0
     clients: Tuple[str, ...] = ()
     factor: float = 1.0
     latency_add_s: float = 0.0
     rejoin: bool = False
     detail: str = ""
+    round: Optional[int] = None
+    phase: str = "collecting"
 
     def __post_init__(self) -> None:
         _require(
@@ -266,18 +295,40 @@ class FaultSpec:
                 self.duration_s > 0,
                 f"{self.kind} faults are windows and need duration_s > 0",
             )
+        if self.round is not None:
+            _require(int(self.round) >= 0, f"fault round must be >= 0, got {self.round}")
+            _require(
+                self.phase in ANCHOR_PHASES,
+                f"unknown fault phase {self.phase!r}; options: {ANCHOR_PHASES}",
+            )
         # Tuples, not lists, so specs stay hashable/frozen after from_dict.
         if not isinstance(self.clients, tuple):
             object.__setattr__(self, "clients", tuple(self.clients))
 
     @property
+    def is_round_anchored(self) -> bool:
+        """Whether the window opens on a lifecycle (round, phase) entry."""
+        return self.round is not None
+
+    @property
     def end_s(self) -> float:
-        """Simulated time at which the fault window closes."""
+        """When the window closes: absolute time, or offset when round-anchored."""
         return self.start_s + self.duration_s
 
     def overlaps(self, other: "FaultSpec") -> bool:
-        """Whether two same-kind windows collide on at least one target."""
+        """Whether two same-kind windows collide on at least one target.
+
+        Windows on different anchors (wall vs round, or different
+        (round, phase) anchors) are never considered overlapping — their
+        relative timing is only known at run time.
+        """
         if self.kind != other.kind:
+            return False
+        if self.is_round_anchored != other.is_round_anchored:
+            return False
+        if self.is_round_anchored and (
+            self.round != other.round or self.phase != other.phase
+        ):
             return False
         if self.start_s >= other.end_s or other.start_s >= self.end_s:
             return False
@@ -349,6 +400,12 @@ class ScenarioSpec:
                 _require(
                     bool(fault.clients),
                     f"{fault.kind} faults must name their target clients",
+                )
+            if fault.round is not None:
+                _require(
+                    int(fault.round) < int(self.training.rounds),
+                    f"{fault.kind} fault is anchored to round {fault.round}, but "
+                    f"the scenario only runs {self.training.rounds} round(s)",
                 )
         for i, fault in enumerate(self.faults):
             for other in self.faults[i + 1:]:

@@ -482,3 +482,152 @@ class TestReviewRegressions:
         assert [payload for payload, _ in arrivals] == [b"s"]
         # Without the tail rollback this would arrive at ~0.5 s.
         assert arrivals[0][1] < 0.1
+
+
+class TestRoundAnchoredFaults:
+    """The ``{"round": N, "phase": ...}`` window notation."""
+
+    def test_bad_anchor_phase_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="phase"):
+            FaultSpec(kind="broker_slowdown", round=1, phase="advanced",
+                      duration_s=1.0, factor=2.0)
+
+    def test_anchor_round_beyond_budget_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="anchored to round"):
+            _tiny_spec(
+                faults=(
+                    FaultSpec(kind="broker_slowdown", round=9, phase="collecting",
+                              duration_s=1.0, factor=2.0),
+                )
+            )
+
+    def test_round_trip_through_json(self):
+        spec = _tiny_spec(
+            faults=(
+                FaultSpec(kind="link_degradation", round=1, phase="collecting",
+                          duration_s=0.4, clients=("client_001",), factor=0.1),
+            )
+        )
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert clone.faults[0].round == 1
+        assert clone.faults[0].phase == "collecting"
+        assert clone.faults[0].is_round_anchored
+
+    def test_same_anchor_overlap_rejected_but_different_anchors_allowed(self):
+        with pytest.raises(ScenarioSpecError, match="overlapping"):
+            _tiny_spec(
+                faults=(
+                    FaultSpec(kind="link_degradation", round=1, phase="collecting",
+                              duration_s=1.0, clients=("client_001",), factor=0.5),
+                    FaultSpec(kind="link_degradation", round=1, phase="collecting",
+                              start_s=0.5, duration_s=1.0, clients=("client_001",),
+                              factor=0.5),
+                )
+            )
+        spec = _tiny_spec(
+            faults=(
+                FaultSpec(kind="link_degradation", round=0, phase="collecting",
+                          duration_s=1.0, clients=("client_001",), factor=0.5),
+                FaultSpec(kind="link_degradation", round=1, phase="collecting",
+                          duration_s=1.0, clients=("client_001",), factor=0.5),
+            )
+        )
+        assert len(spec.faults) == 2
+        # A wall window and a round window can never be compared statically.
+        mixed = _tiny_spec(
+            faults=(
+                FaultSpec(kind="link_degradation", start_s=0.0, duration_s=99.0,
+                          clients=("client_001",), factor=0.5),
+                FaultSpec(kind="link_degradation", round=1, phase="collecting",
+                          duration_s=1.0, clients=("client_001",), factor=0.5),
+            )
+        )
+        assert len(mixed.faults) == 2
+
+    def test_window_opens_when_the_anchored_round_collects(self):
+        spec = _tiny_spec(
+            faults=(
+                FaultSpec(kind="link_degradation", round=1, phase="collecting",
+                          duration_s=0.2, clients=("client_001",), factor=0.01),
+            )
+        )
+        compiled = compile_scenario(spec)
+        experiment = compiled.experiment
+        network = experiment.network
+        base = network.link_for("client_001")
+
+        # Round 0 runs entirely outside the window: the link stays pristine.
+        assert compiled.injector.anchors_fired == 0
+        experiment.run_round(0)
+        assert compiled.injector.anchors_fired == 1  # armed at the boundary
+        round1_link = network.link_for("client_001")
+        # The window opened the moment round 1 entered collecting, inside the
+        # boundary drain, and closes 0.2 s later on the scheduler.
+        assert compiled.injector.faults_started == 1
+        experiment.run_round(1)
+        assert compiled.injector.faults_ended == 1
+        assert network.link_for("client_001") == base
+
+    def test_round0_anchor_fires_at_bind_time(self):
+        spec = _tiny_spec(
+            faults=(
+                FaultSpec(kind="broker_slowdown", round=0, phase="collecting",
+                          duration_s=0.1, factor=5.0),
+            )
+        )
+        compiled = compile_scenario(spec)
+        # setup() already drove the lifecycle into round 0's collecting phase,
+        # so the anchor must have been compiled immediately.
+        assert compiled.injector.anchors_fired == 1
+
+    def test_round2_blackout_scenario_is_deterministic_and_degrades_round2(self):
+        runner = ScenarioRunner()
+        first = runner.run("round2-blackout")
+        second = runner.run("round2-blackout")
+        assert first.signature == second.signature
+        assert first.faults_started == 2
+        messaging = [r.delay.messaging_s for r in first.rounds]
+        # The blackout is anchored to round 2: its messaging makespan must
+        # stand out from the clean rounds.
+        assert messaging[2] > 2 * max(messaging[0], messaging[1], messaging[3])
+
+
+class TestMidRoundAdmission:
+    def test_bad_admission_policy_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="admission"):
+            FleetSpec(num_clients=4, admission="whenever")
+
+    def test_mid_round_joiners_contribute_to_the_joined_round(self):
+        spec = get_scenario("mid-round-flash-crowd")
+        compiled = compile_scenario(spec)
+        experiment = compiled.experiment
+        session_id = experiment.config.session_id
+        result = experiment.run_round(0)
+        assert result.participants == 5  # the joiners arrived *after* kickoff
+        assert experiment.midround_admissions == 5
+        # Every joiner uploaded into round 0 and the weighted global reflects
+        # all ten contributions (10 clients x their sample counts).
+        uploads = {c.client_id: c.participation(session_id).uploads_sent
+                   for c in experiment.clients}
+        assert all(count >= 1 for count in uploads.values())
+        record = experiment.parameter_server.record(session_id)
+        total_samples = sum(
+            len(experiment.client_datasets[c.client_id]) for c in experiment.clients
+        )
+        assert record.total_weight == pytest.approx(total_samples)
+
+    def test_mid_round_flash_crowd_scenario_is_deterministic(self):
+        runner = ScenarioRunner()
+        first = runner.run("mid-round-flash-crowd")
+        second = runner.run("mid-round-flash-crowd")
+        assert first.signature == second.signature
+        assert first.clients_admitted == 5
+        assert [r.participants for r in first.rounds] == [5, 10, 10, 10]
+
+    def test_boundary_policy_still_defers_to_round_boundaries(self):
+        spec = get_scenario("flash-crowd")  # admission defaults to round_boundary
+        compiled = compile_scenario(spec)
+        experiment = compiled.experiment
+        experiment.run_round(0)
+        assert experiment.midround_admissions == 0
+        assert len(compiled.pending_admissions) == 5

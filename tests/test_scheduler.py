@@ -536,3 +536,72 @@ class TestCancelDeliveries:
         assert scheduler.deliveries_cancelled == 1
         scheduler.run_until_idle()
         assert seen == ["c0"]
+
+
+class TestCancelReleasesFifoClamp:
+    """Cancelled deliveries must free their per-connection FIFO clamp slot.
+
+    Regression for the lifecycle-RESTART cancellation path: when a round
+    restart (or straggler cut-off) cancels an in-flight upload, deliveries
+    of the same (sender, receiver) connection that were queued *behind* it —
+    and the connection's next-round traffic — must revert to their own
+    transfer times instead of staying pushed back behind a message that no
+    longer exists.
+    """
+
+    def _slow_pair(self):
+        clock = SimulationClock()
+        network = NetworkModel(seed=0)
+        network.set_link("sub", LinkProfile(latency_s=0.001, bandwidth_bps=1e4))
+        broker = MQTTBroker("b", network=network, clock=clock)
+        scheduler = EventScheduler(clock=clock)
+        scheduler.attach_broker(broker)
+        subscriber = MQTTClient("sub")
+        subscriber.connect(broker)
+        subscriber.subscribe("big")
+        subscriber.subscribe("small")
+        arrivals = []
+        subscriber.on_message = lambda _c, m: arrivals.append((m.topic, clock.now()))
+        scheduler.register(subscriber)
+        publisher = MQTTClient("pub")
+        publisher.connect(broker)
+        return scheduler, publisher, arrivals
+
+    def test_cancel_unclamps_survivors_and_next_round_traffic(self):
+        scheduler, publisher, arrivals = self._slow_pair()
+        publisher.publish("big", b"L" * 50_000)  # ~5 s transfer, occupies the wire
+        publisher.publish("small", b"s")         # ~ms transfer, clamped behind it
+
+        small = [r for r in scheduler.pending_deliveries() if r.message.topic == "small"][0]
+        assert small.deliver_at > 4.0, "test setup: the small message must be clamped"
+        assert small.unclamped_deliver_at is not None
+
+        cancelled = scheduler.cancel_deliveries(lambda r: r.message.topic == "big")
+        assert cancelled == 1
+
+        # The survivor reverts to its own (unclamped) transfer time ...
+        small = scheduler.pending_deliveries()[0]
+        assert small.deliver_at < 1.0, "survivor still clamped to a cancelled predecessor"
+        # ... and the connection's next delivery is clamped to the *released*
+        # tail, not to the cancelled upload's far-future one.
+        publisher.publish("small", b"t")
+        assert all(r.deliver_at < 1.0 for r in scheduler.pending_deliveries())
+
+        scheduler.run_until_idle()
+        assert [topic for topic, _ in arrivals] == ["small", "small"]
+        assert all(at < 1.0 for _, at in arrivals)
+
+    def test_reclamp_preserves_fifo_order_among_survivors(self):
+        scheduler, publisher, arrivals = self._slow_pair()
+        publisher.publish("big", b"L" * 50_000)
+        publisher.publish("small", b"m" * 5_000)  # ~0.5 s transfer once unclamped
+        publisher.publish("small", b"s")          # ~ms transfer; must stay behind the 0.5 s one
+
+        scheduler.cancel_deliveries(lambda r: r.message.topic == "big")
+        records = scheduler.pending_deliveries()
+        assert [len(r.message.payload) for r in records] == [5_000, 1]
+
+        scheduler.run_until_idle()
+        assert [topic for topic, _ in arrivals] == ["small", "small"]
+        arrival_times = [at for _, at in arrivals]
+        assert arrival_times == sorted(arrival_times)

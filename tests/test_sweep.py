@@ -300,6 +300,8 @@ class TestRunGrid:
             "grid.md",
             "messaging_vs_analytic.csv",
             "messaging_vs_analytic.md",
+            "seed_aggregate.csv",
+            "seed_aggregate.md",
             "signatures.txt",
         ]
         signatures = (tmp_path / "signatures.txt").read_text().splitlines()
@@ -307,6 +309,45 @@ class TestRunGrid:
         assert signatures[0] == f"000  {grid.cells[0].signature}"
         header = (tmp_path / "grid.csv").read_text().splitlines()[0]
         assert header.startswith("cell,training.round_deadline_s,seed,")
+
+    def test_seed_aggregate_rows_mean_and_stddev(self, small_sweep):
+        grid = ScenarioRunner().run_grid(small_sweep, workers=1)
+        rows = grid.seed_aggregate_rows()
+        # 2 deadlines x 2 seeds collapse to one row per deadline.
+        assert [row["training.round_deadline_s"] for row in rows] == [1.0, 5.0]
+        assert all(row["seeds"] == 2 for row in rows)
+        assert all("seed" not in row for row in rows)
+        by_deadline = {
+            row["training.round_deadline_s"]: [
+                c for c in grid.cells
+                if c.coordinates["training.round_deadline_s"] == row["training.round_deadline_s"]
+            ]
+            for row in rows
+        }
+        for row in rows:
+            cells = by_deadline[row["training.round_deadline_s"]]
+            values = [c.final_accuracy for c in cells]
+            expected_mean = sum(values) / len(values)
+            assert row["accuracy_mean"] == pytest.approx(expected_mean)
+            expected_std = (
+                sum((v - expected_mean) ** 2 for v in values) / len(values)
+            ) ** 0.5
+            assert row["accuracy_std"] == pytest.approx(expected_std)
+            assert row["messages_mean"] == pytest.approx(
+                sum(c.messages for c in cells) / len(cells)
+            )
+
+    def test_seed_aggregate_empty_without_seed_axis(self, tmp_path):
+        sweep = SweepSpec(
+            name="no-seed",
+            base=_tiny_base(),
+            axes=(AxisSpec("training.round_deadline_s", (1.0, 5.0)),),
+        )
+        grid = ScenarioRunner().run_grid(sweep, workers=1)
+        assert grid.seed_aggregate_rows() == []
+        paths = grid.write_report(str(tmp_path))
+        assert "seed_aggregate.csv" not in paths
+        assert "seed_aggregate.md" not in paths
 
     def test_grid_smoke_matches_committed_golden(self):
         spec_path = os.path.join(REPO_ROOT, "tests", "data", "grid_smoke.json")
@@ -317,6 +358,30 @@ class TestRunGrid:
         produced = "".join(f"{c.index:03d}  {c.signature}\n" for c in grid.cells)
         with open(golden_path, "r", encoding="utf-8") as handle:
             assert handle.read() == produced
+
+    def test_round_anchored_grid_matches_committed_golden(self):
+        """A grid sweeping a round-anchored fault's severity stays pinned.
+
+        The axis path ``faults.0.factor`` overrides the round-anchored
+        blackout's bandwidth multiplier; each cell's signature must match the
+        committed golden byte for byte, for any worker count.
+        """
+        spec_path = os.path.join(REPO_ROOT, "tests", "data", "grid_round_anchored.json")
+        golden_path = os.path.join(
+            REPO_ROOT, "tests", "data", "grid_round_anchored_signatures.txt"
+        )
+        with open(spec_path, "r", encoding="utf-8") as handle:
+            sweep = SweepSpec.from_dict(json.load(handle))
+        assert sweep.base.faults[0].is_round_anchored
+        grid = ScenarioRunner().run_grid(sweep, workers=2)
+        produced = "".join(f"{c.index:03d}  {c.signature}\n" for c in grid.cells)
+        with open(golden_path, "r", encoding="utf-8") as handle:
+            assert handle.read() == produced
+        # The severity axis must actually bite: harsher blackouts change the
+        # delivery trace of the cells that share a seed.
+        signatures = grid.signatures()
+        assert signatures[0] != signatures[2]
+        assert signatures[1] != signatures[3]
 
 
 class TestSeedThreadingRegression:
