@@ -1,0 +1,105 @@
+"""Zero-copy guard + throughput microbench for the MQTTFC payload codec.
+
+The codec's fast path (`encode_payload_frame`) must assemble the ``MQFC``
+frame *writev-style*: the frame's segments alias the ndarray leaves of the
+state dict being encoded, with no per-leaf ``tobytes()`` copies and no second
+whole-frame concatenation.  This file pins that property with **aliasing
+assertions** (``np.shares_memory`` against the source arrays), not timing —
+a refactor that silently reintroduces per-leaf copies fails deterministically
+regardless of machine speed.
+
+The decode side is pinned symmetrically: with ``copy_arrays=False`` every
+decoded ndarray leaf must be a read-only ``np.frombuffer`` view into the
+frame buffer.
+
+The MB/s figures printed here also feed ``tools/bench.py`` /
+``BENCH_pr5.json`` (the perf-trajectory baseline).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from bench import build_codec_state as _state_dict
+from conftest import emit, fast_mode
+
+from repro.mqttfc.serialization import (
+    decode_payload,
+    encode_payload,
+    encode_payload_frame,
+    payload_size,
+)
+
+#: ~10 MB of float32 parameters (the acceptance target for the zero-copy
+#: encode check), shrunk in fast mode.  The workload builder lives in
+#: tools/bench.py so BENCH_*.json measures the same shape.
+STATE_MB = 2 if fast_mode() else 10
+
+
+def test_encode_is_zero_copy_per_leaf():
+    """Every contiguous leaf's bytes appear in the frame as an aliasing view."""
+    state = _state_dict(STATE_MB)
+    payload = {"state": state, "round_index": 3, "sender": "client_007"}
+    frame = encode_payload_frame(payload)
+
+    # Segment 0 is the prefix (magic + header length + JSON header); each
+    # ndarray leaf contributes exactly one segment, in encounter order.
+    leaf_arrays = list(state.values())
+    leaf_segments = frame.segments[1:]
+    assert len(leaf_segments) == len(leaf_arrays)
+    for array, segment in zip(leaf_arrays, leaf_segments):
+        assert isinstance(segment, memoryview)
+        assert segment.nbytes == array.nbytes
+        # The aliasing check: the segment is a view of the array's buffer,
+        # not a copy of its bytes.
+        assert np.shares_memory(np.frombuffer(segment, dtype=np.uint8), array)
+
+    # Sizing never materializes either: same number, no gather.
+    assert payload_size(payload) == frame.nbytes
+    # The single gather happens only on request, and is cached.
+    raw = frame.tobytes()
+    assert len(raw) == frame.nbytes
+    assert frame.tobytes() is raw
+
+
+def test_decode_views_alias_the_frame():
+    state = _state_dict(1)
+    raw = encode_payload({"state": state})
+    decoded = decode_payload(raw, copy_arrays=False)["state"]
+    for name, source in state.items():
+        view = decoded[name]
+        assert not view.flags.writeable  # frombuffer on bytes is read-only
+        assert np.shares_memory(view, np.frombuffer(raw, dtype=np.uint8))
+        assert np.array_equal(view, source)
+
+
+def test_codec_throughput(benchmark):
+    state = _state_dict(STATE_MB)
+    payload = {"state": state, "round_index": 0, "sender": "client_000"}
+    size_mb = payload_size(payload) / (1024 * 1024)
+
+    def round_trip():
+        start = time.perf_counter()
+        raw = encode_payload(payload)
+        encode_s = time.perf_counter() - start
+        start = time.perf_counter()
+        decoded = decode_payload(raw, copy_arrays=False)
+        decode_s = time.perf_counter() - start
+        return raw, decoded, encode_s, decode_s
+
+    raw, decoded, encode_s, decode_s = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    assert np.array_equal(decoded["state"]["dense.bias"], state["dense.bias"])
+
+    encode_mb_s = size_mb / max(encode_s, 1e-9)
+    decode_mb_s = size_mb / max(decode_s, 1e-9)
+    emit(
+        "MQTTFC codec — encode/decode throughput",
+        f"payload size:     {size_mb:.2f} MB\n"
+        f"encode:           {encode_mb_s:,.0f} MB/s\n"
+        f"decode (views):   {decode_mb_s:,.0f} MB/s",
+    )
+    # Conservative floors: a copy-per-leaf regression drops encode well under
+    # a GB/s; the zero-copy decode path has no business under 1 GB/s either.
+    assert encode_mb_s > 200
+    assert decode_mb_s > 200

@@ -14,10 +14,15 @@ ships several standard robust alternatives as well:
 * :class:`FedAvgMomentum` — server momentum applied on top of FedAvg
   (FedAvgM), useful under strong non-IID skew.
 
-All strategies operate on flattened parameter vectors so the reduction is a
-single vectorized numpy operation over a 2-D ``(num_models, num_parameters)``
-array — no Python-level per-parameter loops (HPC guide: keep the hot path in
-BLAS/ufuncs).
+The mean-family strategies (FedAvg, UniformAverage, FedAvgM) reduce with a
+*streaming* in-place weighted accumulation: one preallocated ``float64``
+accumulator the size of the model, into which each contribution's leaves are
+multiply-added in roster order — no ``(num_models, num_parameters)`` matrix
+is ever built, so aggregating K contributions needs O(D) scratch instead of
+O(K·D).  The order-sensitive robust strategies (median, trimmed mean) still
+stack the matrix, which their element-wise sorts genuinely need.  Either
+way the inner loops stay in BLAS/ufuncs (HPC guide), and the accumulation
+order is fixed by the contribution sequence, so results are deterministic.
 
 Hierarchical composition: FedAvg composes exactly (the weighted mean of
 weighted means with summed weights equals the global weighted mean), which is
@@ -71,9 +76,14 @@ class ModelContribution:
         first mid-round restart).  An aggregator recovering from a restart
         clears only contributions with an *older* epoch, so a re-send that
         raced ahead of the aggregator's own restart notice survives.
+    nbytes:
+        Total byte size of ``state``, computed once at construction.  Buffer
+        accounting (add/replace/release paths) charges and releases this
+        cached value instead of re-walking the full state dict on every
+        operation.
     """
 
-    __slots__ = ("state", "weight", "sender_id", "round_index", "epoch")
+    __slots__ = ("state", "weight", "sender_id", "round_index", "epoch", "nbytes")
 
     def __init__(
         self,
@@ -90,6 +100,7 @@ class ModelContribution:
         self.sender_id = sender_id
         self.round_index = int(round_index)
         self.epoch = int(epoch)
+        self.nbytes = state_dict_nbytes(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -131,9 +142,7 @@ class ContributionBuffer:
         Only peer contributions are allocated against the owner's memory; its
         own update enters the buffer uncharged.
         """
-        return sum(
-            state_dict_nbytes(c.state) for c in contributions if c.sender_id != self.owner_id
-        )
+        return sum(c.nbytes for c in contributions if c.sender_id != self.owner_id)
 
     def _release(self, nbytes: int) -> None:
         if self.resources is not None and nbytes:
@@ -153,12 +162,12 @@ class ContributionBuffer:
                 existing.sender_id == contribution.sender_id
                 and existing.round_index == contribution.round_index
             ):
-                self.buffered_bytes -= state_dict_nbytes(existing.state)
+                self.buffered_bytes -= existing.nbytes
                 self._release(self.charged_nbytes([existing]))
                 del self.pending[index]
                 break
         self.pending.append(contribution)
-        nbytes = state_dict_nbytes(contribution.state)
+        nbytes = contribution.nbytes
         self.buffered_bytes += nbytes
         if charge_memory and self.resources is not None:
             self.resources.allocate(self.owner_id, nbytes)
@@ -171,7 +180,7 @@ class ContributionBuffer:
         kept = [c for c in self.pending if c.epoch >= epoch]
         dropped = [c for c in self.pending if c.epoch < epoch]
         self.pending[:] = kept
-        self.buffered_bytes = sum(state_dict_nbytes(c.state) for c in kept)
+        self.buffered_bytes = sum(c.nbytes for c in kept)
         self._release(self.charged_nbytes(dropped))
         return len(dropped)
 
@@ -194,7 +203,7 @@ class ContributionBuffer:
             c for c in self.pending if c not in batch and c not in remaining
         ]
         self.pending[:] = remaining
-        self.buffered_bytes = sum(state_dict_nbytes(c.state) for c in remaining)
+        self.buffered_bytes = sum(c.nbytes for c in remaining)
         self._release(self.charged_nbytes(batch) + self.charged_nbytes(dropped))
         return batch
 
@@ -217,7 +226,12 @@ class ContributionBuffer:
 def _stack_contributions(
     contributions: Sequence[ModelContribution],
 ) -> Tuple[np.ndarray, np.ndarray, List[Tuple[str, Tuple[int, ...]]]]:
-    """Flatten and stack contributions into (matrix, weights, spec)."""
+    """Flatten and stack contributions into (matrix, weights, spec).
+
+    Only the order-sensitive robust strategies (median, trimmed mean) pay for
+    this K×D materialization; the mean family streams through
+    :func:`_streaming_weighted_sum` instead.
+    """
     if not contributions:
         raise AggregationError("cannot aggregate zero contributions")
     first_vector, spec = flatten_state_dict(contributions[0].state)
@@ -234,8 +248,77 @@ def _stack_contributions(
     return matrix, weights, spec
 
 
+def _streaming_weighted_sum(
+    contributions: Sequence[ModelContribution],
+    weighted: bool,
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[str, Tuple[int, ...]]]]:
+    """Accumulate ``sum_i w_i · x_i`` in place; returns (sum, weights, spec).
+
+    The accumulator and one scratch vector are the only allocations — each
+    contribution's leaves are multiply-added segment by segment in
+    contribution order (the caller passes them in deterministic roster
+    order), so no K×D matrix exists at any point.  With ``weighted=False``
+    the plain sum is accumulated (the uniform-mean path).
+
+    The first contribution is written directly (not added to zeros) so the
+    result is bit-identical to a sequential matrix reduction even for
+    signed-zero entries.
+    """
+    if not contributions:
+        raise AggregationError("cannot aggregate zero contributions")
+    first_state = contributions[0].state
+    spec: List[Tuple[str, Tuple[int, ...]]] = []
+    sizes: List[int] = []
+    total_size = 0
+    for name, value in first_state.items():
+        array = np.asarray(value)
+        spec.append((name, tuple(array.shape)))
+        sizes.append(array.size)
+        total_size += array.size
+    accumulator = np.empty(total_size, dtype=np.float64)
+    scratch = np.empty(total_size, dtype=np.float64)
+    weights = np.empty(len(contributions), dtype=np.float64)
+
+    for row, contribution in enumerate(contributions):
+        weights[row] = contribution.weight
+        # A *strong* float64 scalar: under NEP 50 a python float would let a
+        # float32 leaf select the float32 loop and only cast the product,
+        # losing bit-identity with the float64 matrix reference path.
+        weight64 = weights[row]
+        state = contribution.state
+        values = list(state.values())
+        if len(values) != len(spec) or any(
+            np.asarray(value).shape != shape for value, (_, shape) in zip(values, spec)
+        ):
+            raise AggregationError(
+                f"contribution from {contribution.sender_id!r} has mismatched parameter shapes"
+            )
+        target = accumulator if row == 0 else scratch
+        offset = 0
+        for value, size in zip(values, sizes):
+            segment = target[offset : offset + size]
+            leaf = np.asarray(value).ravel()
+            if weighted:
+                # Mixed-dtype ufunc with a strong float64 scalar computes in
+                # float64, bit-identical to converting the leaf first.
+                np.multiply(leaf, weight64, out=segment)
+            else:
+                segment[:] = leaf
+            offset += size
+        if row > 0:
+            accumulator += scratch
+    return accumulator, weights, spec
+
+
 class AggregationStrategy:
-    """Base class: subclasses implement :meth:`reduce` over a stacked matrix."""
+    """Base class: subclasses implement :meth:`reduce` over a stacked matrix.
+
+    The default :meth:`aggregate` stacks the K×D matrix and calls
+    :meth:`reduce` — the path the order-sensitive robust strategies need.
+    Mean-family subclasses override :meth:`aggregate` with the streaming
+    accumulation and keep :meth:`reduce` as the reference (and
+    directly-callable) matrix implementation.
+    """
 
     name = "base"
 
@@ -258,6 +341,12 @@ class FedAvg(AggregationStrategy):
 
     name = "fedavg"
 
+    def aggregate(self, contributions: Sequence[ModelContribution]) -> StateDict:
+        """Streaming weighted mean: in-place multiply-add, no K×D matrix."""
+        accumulator, weights, spec = _streaming_weighted_sum(contributions, weighted=True)
+        accumulator /= np.sum(weights)
+        return unflatten_state_dict(accumulator, spec)
+
     def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
         return np.average(matrix, axis=0, weights=weights)
 
@@ -266,6 +355,12 @@ class UniformAverage(AggregationStrategy):
     """Unweighted mean of the contributions."""
 
     name = "mean"
+
+    def aggregate(self, contributions: Sequence[ModelContribution]) -> StateDict:
+        """Streaming unweighted mean: in-place adds, no K×D matrix."""
+        accumulator, _weights, spec = _streaming_weighted_sum(contributions, weighted=False)
+        accumulator /= float(len(contributions))
+        return unflatten_state_dict(accumulator, spec)
 
     def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
         return matrix.mean(axis=0)
@@ -317,8 +412,16 @@ class FedAvgMomentum(AggregationStrategy):
         self._velocity: Optional[np.ndarray] = None
         self._previous: Optional[np.ndarray] = None
 
+    def aggregate(self, contributions: Sequence[ModelContribution]) -> StateDict:
+        """Streaming FedAvg average, then the server-momentum update."""
+        accumulator, weights, spec = _streaming_weighted_sum(contributions, weighted=True)
+        accumulator /= np.sum(weights)
+        return unflatten_state_dict(self._momentum_update(accumulator), spec)
+
     def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        average = np.average(matrix, axis=0, weights=weights)
+        return self._momentum_update(np.average(matrix, axis=0, weights=weights))
+
+    def _momentum_update(self, average: np.ndarray) -> np.ndarray:
         if self._previous is None:
             self._previous = average.copy()
             self._velocity = np.zeros_like(average)

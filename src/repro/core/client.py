@@ -42,7 +42,7 @@ from repro.core.topics import (
     session_broadcast_topic,
 )
 from repro.ml.models import ClassifierModel
-from repro.ml.state import StateDict, state_dict_nbytes
+from repro.ml.state import StateDict
 from repro.mqtt.broker import MQTTBroker
 from repro.mqtt.client import MQTTClient
 from repro.mqttfc.compression import CompressionConfig
@@ -328,9 +328,7 @@ class SDFLMQClient:
         state = self.models.snapshot_local(session_id)
         self.models.note_local_update(session_id)
         weight = float(max(1, record.num_samples))
-        payload_bytes = state_dict_nbytes(state)
         participation.rounds.note_upload(self.models.global_version(session_id))
-        self.bytes_uploaded += payload_bytes
 
         contribution = ModelContribution(
             state=state,
@@ -339,6 +337,8 @@ class SDFLMQClient:
             round_index=participation.current_round,
             epoch=participation.restart_epoch,
         )
+        payload_bytes = contribution.nbytes  # cached by the contribution, one walk
+        self.bytes_uploaded += payload_bytes
         role_state = self.arbiter.state(session_id) if self.arbiter.has_session(session_id) else None
         if role_state is not None and role_state.role.aggregates:
             participation.rounds.own_contribution_sent = True
@@ -652,7 +652,7 @@ class SDFLMQClient:
         aggregated = strategy.aggregate(contributions)
         total_weight = sum(c.weight for c in contributions)
         round_index = max(c.round_index for c in contributions)
-        self.bytes_aggregated += sum(state_dict_nbytes(c.state) for c in contributions)
+        self.bytes_aggregated += sum(c.nbytes for c in contributions)
         participation.aggregations_performed += 1
 
         result = ModelContribution(

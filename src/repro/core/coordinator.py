@@ -164,6 +164,9 @@ class Coordinator:
                 reason="session id already exists; first request wins",
             ).to_dict()
         session = FLSession(request=request, created_at=self._now())
+        # Stamp lifecycle events with broker time so subscribers (fault
+        # anchors, the per-phase round timer) see when transitions committed.
+        session.lifecycle.clock = self._now
         self.sessions[request.session_id] = session
         session.add_contributor(
             request.requester_id, preferred_role=request.preferred_role, num_samples=0

@@ -52,6 +52,7 @@ from repro.core.errors import SDFLMQError
 __all__ = [
     "ClientRoundView",
     "LifecycleEvent",
+    "PhaseTimer",
     "RoundLifecycle",
     "RoundLifecycleError",
     "RoundPhase",
@@ -106,10 +107,12 @@ class LifecycleEvent:
     (roster changes), ``restart`` (epoch bump), ``advance`` (round
     accounted), ``deadline`` (the armed round deadline expired) or
     ``complete``.  ``phase``/``round_index``/``epoch`` always carry the
-    post-transition state.
+    post-transition state; ``at`` is the simulated time the transition
+    committed (0.0 when the lifecycle has no clock attached), which is what
+    the per-phase round timing is derived from.
     """
 
-    __slots__ = ("kind", "session_id", "round_index", "phase", "epoch", "client_id")
+    __slots__ = ("kind", "session_id", "round_index", "phase", "epoch", "client_id", "at")
 
     def __init__(
         self,
@@ -119,6 +122,7 @@ class LifecycleEvent:
         phase: "RoundPhase",
         epoch: int,
         client_id: str = "",
+        at: float = 0.0,
     ) -> None:
         self.kind = kind
         self.session_id = session_id
@@ -126,6 +130,7 @@ class LifecycleEvent:
         self.phase = phase
         self.epoch = int(epoch)
         self.client_id = client_id
+        self.at = float(at)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -157,12 +162,16 @@ class RoundLifecycle:
     ('advanced', 0, 1)
     """
 
-    def __init__(self, session_id: str) -> None:
+    def __init__(self, session_id: str, clock: Optional[Callable[[], float]] = None) -> None:
         self.session_id = session_id
         self.phase: RoundPhase = RoundPhase.IDLE
         self.round_index = 0
         self.epoch = 0  # restart epochs broadcast so far
         self.deadline_at: Optional[float] = None
+        #: Optional ``now()`` callable stamping every emitted event's ``at``
+        #: (the coordinator wires its broker clock in here).  Without one,
+        #: events carry ``at=0.0`` and phase timing degrades to zeros.
+        self.clock = clock
         self._roster: List[str] = []
         self._listeners: List[Callable[[LifecycleEvent], None]] = []
         self.transitions = 0
@@ -187,6 +196,7 @@ class RoundLifecycle:
             phase=self.phase,
             epoch=self.epoch,
             client_id=client_id,
+            at=self.clock() if self.clock is not None else 0.0,
         )
         for listener in list(self._listeners):
             listener(event)
@@ -343,6 +353,73 @@ class RoundLifecycle:
             f"round={self.round_index}, epoch={self.epoch}, "
             f"roster={len(self._roster)})"
         )
+
+
+class PhaseTimer:
+    """Per-round wall-of-simulation time spent in each lifecycle phase.
+
+    Subscribe the timer to a :class:`RoundLifecycle`
+    (``lifecycle.subscribe(timer.on_event)``) and it accumulates, per round
+    index, the simulated seconds between phase entries — ``planning_s``
+    (PLANNING entry → COLLECTING entry), ``collecting_s`` (COLLECTING →
+    AGGREGATING, summed across restart re-entries) and ``aggregating_s``
+    (AGGREGATING → ADVANCED/COMPLETE).  Durations are derived purely from
+    the timestamps the lifecycle stamps on its events, so the timer works
+    for any driver of the state machine.
+
+    :meth:`exclude` lets a harness discount a synchronous clock jump that
+    happens *inside* a phase but is accounted elsewhere — the experiment
+    uses it to keep the analytic critical-path advance (already reported as
+    ``round_delay_s``) out of ``aggregating_s``, leaving the phase columns
+    as pure messaging/settling time next to ``messaging_s``.
+    """
+
+    #: Phases whose dwell time is reported (the transient and idle phases are
+    #: deliberately excluded — nothing moves during them).
+    TIMED_PHASES = (RoundPhase.PLANNING, RoundPhase.COLLECTING, RoundPhase.AGGREGATING)
+
+    def __init__(self) -> None:
+        self._times: Dict[int, Dict[str, float]] = {}
+        self._active_phase: Optional[RoundPhase] = None
+        self._active_round = 0
+        self._since = 0.0
+
+    def prime(self, phase: RoundPhase, round_index: int, at: float) -> None:
+        """Open the initial interval from a lifecycle's *current* state.
+
+        A timer subscribed to an already-running lifecycle (the experiment
+        harness attaches after session setup) would otherwise miss the
+        current phase's entry event and drop its dwell time.
+        """
+        self._active_phase = phase
+        self._active_round = int(round_index)
+        self._since = float(at)
+
+    def on_event(self, event: LifecycleEvent) -> None:
+        """Lifecycle listener: close the open phase interval and open the next."""
+        if self._active_phase in self.TIMED_PHASES:
+            bucket = self._times.setdefault(self._active_round, {})
+            key = f"{self._active_phase.value}_s"
+            bucket[key] = bucket.get(key, 0.0) + max(0.0, event.at - self._since)
+        self._active_phase = event.phase
+        self._active_round = event.round_index
+        self._since = event.at
+
+    def exclude(self, seconds: float) -> None:
+        """Discount ``seconds`` of the currently open interval (clock jump)."""
+        self._since += float(seconds)
+
+    def round_times(self, round_index: int) -> Dict[str, float]:
+        """``{planning_s, collecting_s, aggregating_s}`` for one round (zeros if unseen)."""
+        bucket = self._times.get(int(round_index), {})
+        return {
+            "planning_s": float(bucket.get("planning_s", 0.0)),
+            "collecting_s": float(bucket.get("collecting_s", 0.0)),
+            "aggregating_s": float(bucket.get("aggregating_s", 0.0)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PhaseTimer(rounds={sorted(self._times)})"
 
 
 class ClientRoundView:

@@ -132,6 +132,9 @@ def grid_summary_rows(cells: Sequence[object]) -> List[Dict[str, object]]:
                 "accuracy": cell.final_accuracy,
                 "total_s": cell.total_s,
                 "messaging_s": cell.messaging_s,
+                "planning_s": cell.planning_s,
+                "collecting_s": cell.collecting_s,
+                "aggregating_s": cell.aggregating_s,
                 "messages": cell.messages,
                 "traffic_bytes": cell.traffic_bytes,
                 "dropped": cell.clients_dropped,
@@ -184,6 +187,7 @@ _SEED_AGGREGATE_METRICS: Tuple[Tuple[str, bool], ...] = (
     ("final_accuracy", True),
     ("total_s", True),
     ("messaging_s", True),
+    ("collecting_s", True),
     ("messages", False),
     ("traffic_bytes", False),
     ("stragglers_cut", False),

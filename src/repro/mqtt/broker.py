@@ -138,7 +138,20 @@ class MQTTBroker:
         self.max_bridge_dedup = int(require_positive(max_bridge_dedup, "max_bridge_dedup"))
 
         self._sessions: Dict[str, _ClientSession] = {}
-        self._subscriptions: TopicTrie[Tuple[str, QoS]] = TopicTrie()
+        # The routing plan below memoizes full fan-out resolution per topic,
+        # so the trie's own match cache would only ever be filled on plan
+        # misses and re-read never — disable it rather than carry two caches
+        # with duplicated invalidation.
+        self._subscriptions: TopicTrie[Tuple[str, QoS]] = TopicTrie(match_cache_size=0)
+        # Memoized routing plans: concrete topic -> [(client_id, granted QoS,
+        # matched filter)], sorted by client id.  Fan-out resolves the
+        # subscriber set, the per-client max-QoS collapse and the matched
+        # filter once per topic between subscription changes instead of once
+        # per publish (LRU-bounded like the trie's match cache).
+        self._route_cache: "OrderedDict[str, List[Tuple[str, QoS, str]]]" = OrderedDict()
+        self._route_cache_size = 4096
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
         self._retained: Dict[str, MQTTMessage] = {}
         self._bridges: List["BrokerBridge"] = []
         # LRU-ordered dedup keys; values are unused (OrderedDict as ring set).
@@ -180,6 +193,8 @@ class MQTTBroker:
         resumed = False
         if session is None or clean_session or session.clean_session:
             if session is not None:
+                # _drop_subscriptions invalidates the route cache; a brand-new
+                # client has no subscriptions yet, so nothing to invalidate.
                 self._drop_subscriptions(session)
             session = _ClientSession(client_id=client_id, clean_session=clean_session)
             self._sessions[client_id] = session
@@ -224,6 +239,7 @@ class MQTTBroker:
         for topic_filter, qos in session.subscriptions.items():
             self._subscriptions.remove(topic_filter, (session.client_id, qos))
         session.subscriptions.clear()
+        self._route_cache.clear()
 
     def is_connected(self, client_id: str) -> bool:
         """Whether a client id currently has a live connection."""
@@ -256,6 +272,7 @@ class MQTTBroker:
             self._subscriptions.remove(topic_filter, (client_id, previous))
         session.subscriptions[topic_filter] = qos
         self._subscriptions.insert(topic_filter, (client_id, qos))
+        self._route_cache.clear()
 
         # Retained message replay.
         for topic, message in self._retained.items():
@@ -272,6 +289,7 @@ class MQTTBroker:
         if qos is None:
             return False
         self._subscriptions.remove(topic_filter, (client_id, qos))
+        self._route_cache.clear()
         return True
 
     def subscriptions_of(self, client_id: str) -> Dict[str, QoS]:
@@ -301,9 +319,10 @@ class MQTTBroker:
         fan-out and delay.
         """
         validate_topic(message.topic)
-        if message.size_bytes > self.max_payload_bytes:
+        size = message.size_bytes
+        if size > self.max_payload_bytes:
             raise PayloadTooLargeError(
-                f"payload of {message.size_bytes} bytes exceeds broker limit "
+                f"payload of {size} bytes exceeds broker limit "
                 f"of {self.max_payload_bytes} bytes"
             )
 
@@ -322,35 +341,41 @@ class MQTTBroker:
         self._remember_bridge_key(key)
 
         self.stats.messages_published += 1
-        self.stats.bytes_published += message.size_bytes
+        self.stats.bytes_published += size
 
         if message.retain:
-            if message.size_bytes == 0:
+            if size == 0:
                 self._retained.pop(message.topic, None)
             else:
+                # Shallow copy: the retained record shares the (immutable)
+                # payload buffer with the in-flight message.
                 self._retained[message.topic] = message.copy()
             self.stats.retained_messages = len(self._retained)
 
+        # The sender-side half of the delivery delay (uplink + broker
+        # processing) is identical for every subscriber of this publish, so
+        # compute it once per fan-out.  Only safe when the sender link is
+        # jitter-free: jitter draws from the shared RNG per call, and the
+        # draw order is part of the determinism contract.
+        network = self.network
+        base_time: Optional[float] = None
+        if network is not None:
+            sender_link = network.link_for(message.sender_id)
+            if sender_link.jitter_s == 0.0:
+                base_time = sender_link.transfer_time(size) + network.broker_processing_time(size)
+
         deliveries: List[DeliveryRecord] = []
-        # A client holding several overlapping filters that match this topic
-        # appears once per distinct granted QoS; deliver exactly once per
-        # client, at the maximum granted QoS (MQTT 3.1.1 §3.3.5 allows either
-        # behaviour — once-per-client is what SDFLMQ's choreography assumes).
-        best_qos: Dict[str, QoS] = {}
-        for client_id, sub_qos in self._subscriptions.match(message.topic):
-            if client_id == message.sender_id and self._suppress_echo:
+        sender_id = message.sender_id if self._suppress_echo else None
+        sessions = self._sessions
+        for client_id, sub_qos, matched_filter in self._route_plan(message.topic):
+            if client_id == sender_id:
                 continue
-            granted = best_qos.get(client_id)
-            if granted is None or sub_qos > granted:
-                best_qos[client_id] = sub_qos
-        for client_id in sorted(best_qos):
-            sub_qos = best_qos[client_id]
-            session = self._sessions.get(client_id)
+            session = sessions.get(client_id)
             if session is None:
                 continue
-            # Find which of the client's filters matched (for callback routing).
-            matched_filter = self._matched_filter(session, message.topic, sub_qos)
-            record = self._make_delivery(message, client_id, matched_filter, sub_qos)
+            record = self._make_delivery(
+                message, client_id, matched_filter, sub_qos, size=size, base_time=base_time
+            )
             if record is None:
                 continue
             deliveries.append(record)
@@ -371,6 +396,40 @@ class MQTTBroker:
                 self.stats.bridged_out += forwarded
 
         return deliveries
+
+    def _route_plan(self, topic: str) -> List[Tuple[str, QoS, str]]:
+        """The memoized fan-out plan for a concrete topic.
+
+        A client holding several overlapping filters that match this topic
+        appears once per distinct granted QoS in the trie; the plan keeps
+        exactly one entry per client, at the maximum granted QoS (MQTT 3.1.1
+        §3.3.5 allows either behaviour — once-per-client is what SDFLMQ's
+        choreography assumes), together with the filter that matched (for
+        callback routing).  Entries are sorted by client id for determinism.
+        """
+        plan = self._route_cache.get(topic)
+        if plan is not None:
+            self.route_cache_hits += 1
+            self._route_cache.move_to_end(topic)
+            return plan
+        self.route_cache_misses += 1
+        best_qos: Dict[str, QoS] = {}
+        for client_id, sub_qos in self._subscriptions.match(topic):
+            granted = best_qos.get(client_id)
+            if granted is None or sub_qos > granted:
+                best_qos[client_id] = sub_qos
+        plan = []
+        for client_id in sorted(best_qos):
+            sub_qos = best_qos[client_id]
+            session = self._sessions.get(client_id)
+            matched_filter = (
+                self._matched_filter(session, topic, sub_qos) if session is not None else topic
+            )
+            plan.append((client_id, sub_qos, matched_filter))
+        self._route_cache[topic] = plan
+        if len(self._route_cache) > self._route_cache_size:
+            self._route_cache.popitem(last=False)
+        return plan
 
     #: When True (default), a publisher does not receive its own messages even
     #: if one of its subscriptions matches.  Real MQTT *does* echo messages
@@ -394,17 +453,34 @@ class MQTTBroker:
         topic_filter: str,
         sub_qos: QoS,
         retained_replay: bool = False,
+        size: Optional[int] = None,
+        base_time: Optional[float] = None,
     ) -> Optional[DeliveryRecord]:
-        effective_qos = QoS(min(message.qos, sub_qos))
-        if self.network is not None and self.network.should_drop(client_id, int(effective_qos)):
+        """Build one delivery record (and its traffic entry) for a subscriber.
+
+        ``size`` and ``base_time`` are fan-out hoists from :meth:`publish`:
+        the payload size and the sender-side delay half (uplink + broker
+        processing) are per-publish constants, so the fast path passes them
+        in instead of recomputing per subscriber.
+        """
+        # min() of two QoS members without re-entering the enum constructor.
+        qos = message.qos
+        effective_qos = qos if qos <= sub_qos else sub_qos
+        network = self.network
+        if size is None:
+            size = message.size_bytes
+        if network is not None and network.should_drop(client_id, int(effective_qos)):
             self.stats.messages_dropped += 1
             return None
 
         transfer_time = 0.0
-        if self.network is not None:
-            transfer_time = self.network.end_to_end_time(
-                message.sender_id, client_id, message.size_bytes
-            )
+        if network is not None:
+            if base_time is not None:
+                # Same float-addition order as end_to_end_time:
+                # (uplink + processing) + downlink.
+                transfer_time = base_time + network.downlink_time(client_id, size)
+            else:
+                transfer_time = network.end_to_end_time(message.sender_id, client_id, size)
         deliver_at = (message.timestamp if not retained_replay else self.now()) + transfer_time
         record = DeliveryRecord(
             message=message,
@@ -419,7 +495,7 @@ class MQTTBroker:
                 topic=message.topic,
                 sender_id=message.sender_id or "?",
                 receiver_id=client_id,
-                payload_bytes=message.size_bytes,
+                payload_bytes=size,
                 qos=int(effective_qos),
                 transfer_time_s=transfer_time,
                 handshake_packets=QOS_HANDSHAKE_PACKETS[effective_qos],
@@ -473,8 +549,9 @@ class MQTTBroker:
 
     def _hand_over(self, session: _ClientSession, record: DeliveryRecord) -> None:
         assert session.target is not None
-        self.stats.messages_delivered += 1
-        self.stats.bytes_delivered += record.message.size_bytes
+        stats = self.stats
+        stats.messages_delivered += 1
+        stats.bytes_delivered += record.message.size_bytes
         if self.scheduler is not None:
             self.scheduler.schedule(session.target, record)
         else:

@@ -65,6 +65,11 @@ class MQTTClient:
         self._broker: Optional[MQTTBroker] = None
         self._inbox: Deque[DeliveryRecord] = deque()
         self._callbacks: Dict[str, MessageCallback] = {}
+        # Per concrete topic resolution of the first matching filter callback
+        # (None = "no filter matches, use on_message").  Invalidated whenever
+        # the callback registry changes; on the fleet-scale dispatch path this
+        # turns an O(filters) wildcard scan per message into a dict hit.
+        self._callback_cache: Dict[str, Optional[MessageCallback]] = {}
         self._will: Optional[MQTTMessage] = None
         self._delivered_qos2: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
         self.max_qos2_dedup = max(1, int(max_qos2_dedup))
@@ -88,7 +93,7 @@ class MQTTClient:
     def will_set(
         self,
         topic: str,
-        payload: bytes | str = b"",
+        payload: "bytes | bytearray | memoryview | str" = b"",
         qos: QoS | int = QoS.AT_MOST_ONCE,
         retain: bool = False,
     ) -> None:
@@ -146,21 +151,27 @@ class MQTTClient:
         """
         validate_topic_filter(topic_filter)
         self._callbacks[topic_filter] = callback
+        self._callback_cache.clear()
 
     def message_callback_remove(self, topic_filter: str) -> None:
         """Remove a per-filter callback."""
         self._callbacks.pop(topic_filter, None)
+        self._callback_cache.clear()
 
     # ---------------------------------------------------------------- publish
 
     def publish(
         self,
         topic: str,
-        payload: bytes | str = b"",
+        payload: "bytes | bytearray | memoryview | str" = b"",
         qos: QoS | int = QoS.AT_MOST_ONCE,
         retain: bool = False,
     ) -> MQTTMessage:
-        """Publish ``payload`` on ``topic``; returns the routed message object."""
+        """Publish ``payload`` on ``topic``; returns the routed message object.
+
+        Any buffer-protocol payload travels uncopied (shared by every
+        delivery record); ``str`` is encoded UTF-8 for convenience.
+        """
         broker = self._require_broker()
         message = MQTTMessage(
             topic=topic,
@@ -248,10 +259,19 @@ class MQTTClient:
         return True  # message consumed without a handler (counted but ignored)
 
     def _match_callback(self, topic: str) -> Optional[MessageCallback]:
+        cache = self._callback_cache
+        try:
+            return cache[topic]
+        except KeyError:
+            pass
+        resolved: Optional[MessageCallback] = None
         for topic_filter, callback in self._callbacks.items():
             if topic_matches_filter(topic, topic_filter):
-                return callback
-        return None
+                resolved = callback
+                break
+        if len(cache) < 4096:  # bound the cache for pathological topic churn
+            cache[topic] = resolved
+        return resolved
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "connected" if self.connected else "disconnected"

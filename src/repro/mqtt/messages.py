@@ -44,8 +44,14 @@ class MQTTMessage:
     topic:
         The concrete (wildcard-free) topic the message was published to.
     payload:
-        Raw payload bytes.  SDFLMQ always publishes ``bytes``; convenience
-        conversion from ``str`` happens in the client.
+        Raw payload data: ``bytes`` or any buffer-protocol object
+        (``bytearray``, ``memoryview``, an encoded
+        :class:`~repro.mqttfc.serialization.PayloadFrame`, …), accepted
+        *without* coercion to ``bytes`` — the broker shares one message
+        object across every subscriber's delivery record, so coercing here
+        would copy the payload once per publish.  The payload must be
+        treated as immutable once published; convenience conversion from
+        ``str`` happens on construction.
     qos:
         QoS level requested by the publisher.
     retain:
@@ -63,7 +69,7 @@ class MQTTMessage:
     """
 
     topic: str
-    payload: bytes = b""
+    payload: "bytes | bytearray | memoryview" = b""
     qos: QoS = QoS.AT_MOST_ONCE
     retain: bool = False
     sender_id: Optional[str] = None
@@ -74,21 +80,37 @@ class MQTTMessage:
     def __post_init__(self) -> None:
         if isinstance(self.payload, str):
             self.payload = self.payload.encode("utf-8")
-        elif isinstance(self.payload, (bytearray, memoryview)):
-            self.payload = bytes(self.payload)
         self.qos = QoS.coerce(self.qos)
 
     @property
     def size_bytes(self) -> int:
         """Payload size in bytes (topic/header overhead is accounted separately)."""
-        return len(self.payload)
+        payload = self.payload
+        if type(payload) is bytes:  # the overwhelmingly common case, len() is cheapest
+            return len(payload)
+        nbytes = getattr(payload, "nbytes", None)
+        if nbytes is not None:  # memoryview / PayloadFrame / ndarray-like
+            return int(nbytes)
+        return len(payload)
+
+    def payload_bytes(self) -> bytes:
+        """The payload materialized as contiguous ``bytes`` (no copy if it already is)."""
+        payload = self.payload
+        if type(payload) is bytes:
+            return payload
+        return bytes(payload)
 
     def payload_text(self, encoding: str = "utf-8") -> str:
         """Decode the payload as text."""
-        return self.payload.decode(encoding)
+        return self.payload_bytes().decode(encoding)
 
     def copy(self) -> "MQTTMessage":
-        """Return a shallow copy (payload bytes are immutable so sharing is safe)."""
+        """Return a shallow copy.
+
+        The payload object is *shared*, not duplicated — published payloads
+        are immutable by contract, so the broker's retained-message copy and
+        the bridges' forwarded copies all alias the same buffer.
+        """
         return MQTTMessage(
             topic=self.topic,
             payload=self.payload,
@@ -101,7 +123,7 @@ class MQTTMessage:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryRecord:
     """A message queued for delivery to one particular subscriber.
 

@@ -65,9 +65,13 @@ class LinkProfile:
         return delay
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficRecord:
-    """One hop of one message through the broker."""
+    """One hop of one message through the broker.
+
+    Slotted: one record is created per delivery on the routing hot path, so
+    the per-instance ``__dict__`` is worth avoiding.
+    """
 
     topic: str
     sender_id: str
@@ -106,18 +110,19 @@ class TrafficLog:
 
     def add(self, record: TrafficRecord) -> None:
         """Record one delivery hop."""
-        if len(self._records) < self._max_records:
-            self._records.append(record)
+        records = self._records
+        if len(records) < self._max_records:
+            records.append(record)
+        payload_bytes = record.payload_bytes
         self.total_messages += 1
-        self.total_payload_bytes += record.payload_bytes
+        self.total_payload_bytes += payload_bytes
         self.total_transfer_time_s += record.transfer_time_s
-        self.per_receiver_bytes[record.receiver_id] = (
-            self.per_receiver_bytes.get(record.receiver_id, 0) + record.payload_bytes
-        )
-        self.per_sender_bytes[record.sender_id] = (
-            self.per_sender_bytes.get(record.sender_id, 0) + record.payload_bytes
-        )
-        self.per_topic_messages[record.topic] = self.per_topic_messages.get(record.topic, 0) + 1
+        per_receiver = self.per_receiver_bytes
+        per_receiver[record.receiver_id] = per_receiver.get(record.receiver_id, 0) + payload_bytes
+        per_sender = self.per_sender_bytes
+        per_sender[record.sender_id] = per_sender.get(record.sender_id, 0) + payload_bytes
+        per_topic = self.per_topic_messages
+        per_topic[record.topic] = per_topic.get(record.topic, 0) + 1
 
     def __len__(self) -> int:
         return self.total_messages

@@ -20,7 +20,13 @@ This package provides:
   issues calls with correlation ids and optional responses.
 """
 
-from repro.mqttfc.serialization import encode_payload, decode_payload, payload_size
+from repro.mqttfc.serialization import (
+    PayloadFrame,
+    decode_payload,
+    encode_payload,
+    encode_payload_frame,
+    payload_size,
+)
 from repro.mqttfc.compression import compress_payload, decompress_payload, CompressionConfig
 from repro.mqttfc.batching import BatchEncoder, BatchAssembler, BatchChunk, BatchReassemblyError
 from repro.mqttfc.rfc import (
@@ -33,7 +39,9 @@ from repro.mqttfc.rfc import (
 )
 
 __all__ = [
+    "PayloadFrame",
     "encode_payload",
+    "encode_payload_frame",
     "decode_payload",
     "payload_size",
     "compress_payload",

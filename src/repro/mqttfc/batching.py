@@ -21,6 +21,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.mqttfc.serialization import PayloadFrame
 from repro.utils.validation import require_positive
 
 __all__ = ["BatchChunk", "BatchEncoder", "BatchAssembler", "BatchReassemblyError"]
@@ -39,14 +40,19 @@ class BatchReassemblyError(ValueError):
 
 @dataclass(frozen=True)
 class BatchChunk:
-    """One chunk of a batched payload, ready to be published as message bytes."""
+    """One chunk of a batched payload, ready to be published as message bytes.
+
+    ``data`` is any buffer-protocol object; chunks parsed from a
+    ``memoryview`` keep their data as zero-copy views into the received
+    payload.
+    """
 
     batch_id: str
     index: int
     count: int
     total_length: int
     crc32: int
-    data: bytes
+    data: "bytes | memoryview"
 
     def to_bytes(self) -> bytes:
         """Serialize header + data into a single MQTT payload."""
@@ -54,7 +60,8 @@ class BatchChunk:
         header = _HEADER_STRUCT.pack(
             _MAGIC, _VERSION, batch_id_bytes, self.index, self.count, self.total_length, self.crc32
         )
-        return header + self.data
+        # join() accepts buffer objects, so memoryview chunk data works too.
+        return b"".join((header, self.data))
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "BatchChunk":
@@ -127,6 +134,47 @@ class BatchEncoder:
         """Yield ready-to-publish chunk payload bytes."""
         for chunk in self.split(payload, batch_id):
             yield chunk.to_bytes()
+
+    def iter_payloads_frame(
+        self, frame: PayloadFrame, batch_id: Optional[str] = None
+    ) -> Iterator[bytes]:
+        """Yield wire chunk payloads for a segmented frame, writev-style.
+
+        The frame's segments are never joined into an intermediate whole: the
+        CRC streams across them and each wire chunk is gathered *once*
+        directly behind its header.  The emitted bytes are identical to
+        ``iter_payloads(frame.tobytes(), batch_id)``, but the only copy of
+        the payload data on the send path is the per-chunk gather itself.
+        """
+        if batch_id is None:
+            batch_id = self.next_batch_id()
+        if len(batch_id) > 16:
+            raise ValueError(f"batch id {batch_id!r} exceeds 16 characters")
+        crc = 0
+        for segment in frame.segments:
+            crc = zlib.crc32(segment, crc)
+        crc &= 0xFFFFFFFF
+        total = frame.nbytes
+        count = max(1, -(-total // self.chunk_bytes))  # ceil division, at least one chunk
+        batch_id_bytes = batch_id.encode("ascii")[:16].ljust(16, b"\x00")
+
+        segments = iter(frame.segments)
+        current = memoryview(b"")
+        for index in range(count):
+            header = _HEADER_STRUCT.pack(
+                _MAGIC, _VERSION, batch_id_bytes, index, count, total, crc
+            )
+            wire = bytearray(header)
+            needed = min(self.chunk_bytes, total - index * self.chunk_bytes)
+            while needed > 0:
+                if not len(current):
+                    current = memoryview(next(segments)).cast("B")
+                    continue
+                take = current[:needed] if len(current) > needed else current
+                wire += take
+                needed -= len(take)
+                current = current[len(take):]
+            yield bytes(wire)
 
 
 class BatchAssembler:

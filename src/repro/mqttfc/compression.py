@@ -14,9 +14,16 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
+from repro.mqttfc.serialization import PayloadFrame
 from repro.utils.validation import require_in_range, require_positive
 
-__all__ = ["CompressionConfig", "compress_payload", "decompress_payload", "CompressionError"]
+__all__ = [
+    "CompressionConfig",
+    "compress_payload",
+    "compress_frame",
+    "decompress_payload",
+    "CompressionError",
+]
 
 _FLAG_RAW = b"\x00"
 _FLAG_ZLIB = b"\x01"
@@ -61,13 +68,40 @@ def compress_payload(data: bytes, config: CompressionConfig | None = None) -> by
     return _FLAG_ZLIB + compressed
 
 
-def decompress_payload(data: bytes) -> bytes:
-    """Undo :func:`compress_payload`."""
+def compress_frame(frame: PayloadFrame, config: CompressionConfig | None = None) -> PayloadFrame:
+    """Frame-preserving :func:`compress_payload`.
+
+    When compression is skipped (disabled, below the threshold, or not
+    worthwhile) the result is the input frame with the raw flag *prepended as
+    a segment* — the model-parameter segments keep aliasing their source
+    arrays and nothing is copied.  Only a successful compression materializes
+    the frame (zlib needs the contiguous stream anyway) and returns a
+    two-segment ``flag + compressed`` frame.  The wire bytes are identical to
+    ``compress_payload(frame.tobytes(), config)``.
+    """
+    config = config or CompressionConfig()
+    if not config.enabled or frame.nbytes < config.min_bytes:
+        return PayloadFrame([_FLAG_RAW, *frame.segments])
+    data = frame.tobytes()
+    compressed = zlib.compress(data, config.level)
+    if len(compressed) >= len(data):
+        return PayloadFrame([_FLAG_RAW, *frame.segments])
+    return PayloadFrame([_FLAG_ZLIB, compressed])
+
+
+def decompress_payload(data: "bytes | memoryview", copy: bool = True) -> "bytes | memoryview":
+    """Undo :func:`compress_payload`.
+
+    With ``copy=False`` an uncompressed body comes back as a ``memoryview``
+    aliasing ``data`` (no copy); compressed bodies always inflate into fresh
+    bytes.
+    """
     if len(data) < 1:
         raise CompressionError("empty payload cannot carry a compression flag")
-    flag, body = data[:1], data[1:]
+    view = memoryview(data)
+    flag, body = bytes(view[:1]), view[1:]
     if flag == _FLAG_RAW:
-        return bytes(body)
+        return bytes(body) if copy else body
     if flag == _FLAG_ZLIB:
         try:
             return zlib.decompress(body)

@@ -28,8 +28,8 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.mqtt.client import MQTTClient
 from repro.mqtt.messages import MQTTMessage, QoS
 from repro.mqttfc.batching import BatchAssembler, BatchEncoder, DEFAULT_CHUNK_BYTES
-from repro.mqttfc.compression import CompressionConfig, compress_payload, decompress_payload
-from repro.mqttfc.serialization import decode_payload, encode_payload
+from repro.mqttfc.compression import CompressionConfig, compress_frame, decompress_payload
+from repro.mqttfc.serialization import decode_payload, encode_payload_frame
 from repro.utils.identifiers import validate_identifier
 
 __all__ = [
@@ -295,11 +295,17 @@ class FleetControlEndpoint:
     # -------------------------------------------------------------- transport
 
     def _send_logical(self, topic: str, payload_obj: Any) -> int:
-        """Encode, compress, chunk and publish one logical payload; returns bytes sent."""
-        raw = encode_payload(payload_obj)
-        wrapped = compress_payload(raw, self.compression)
+        """Encode, compress, chunk and publish one logical payload; returns bytes sent.
+
+        The whole path is segment-based: the codec frame aliases every
+        ndarray leaf, the compression wrapper prepends its flag as a segment
+        when it skips compressing, and the chunker gathers each wire chunk
+        straight from the segments — a model upload's parameter bytes are
+        copied exactly once, into the published chunks.
+        """
+        frame = compress_frame(encode_payload_frame(payload_obj), self.compression)
         total = 0
-        for chunk_bytes in self._encoder.iter_payloads(wrapped):
+        for chunk_bytes in self._encoder.iter_payloads_frame(frame):
             self.client.publish(topic, chunk_bytes, qos=self.qos)
             self.stats.chunks_sent += 1
             total += len(chunk_bytes)
@@ -309,10 +315,15 @@ class FleetControlEndpoint:
         """Chunk-level handler for both request and response topics."""
         self.stats.chunks_received += 1
         sender = message.sender_id or "?"
-        complete = self._assembler.add(sender, message.payload)
+        complete = self._assembler.add(sender, memoryview(message.payload))
         if complete is None:
             return
-        payload = decode_payload(decompress_payload(complete))
+        # Zero-copy receive: ndarray leaves in the decoded payload are
+        # read-only views into the reassembled frame.  Every downstream
+        # consumer either only reads them (aggregation, re-forwarding) or
+        # copies on install (``ModelController.apply_global`` casts to the
+        # model dtype), so no copy is made here on the hot path.
+        payload = decode_payload(decompress_payload(complete, copy=False), copy_arrays=False)
         if not isinstance(payload, dict) or "kind" not in payload:
             raise RemoteCallError(f"malformed MQTTFC payload on topic {message.topic!r}")
         if payload["kind"] == "request":

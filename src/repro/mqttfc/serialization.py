@@ -20,17 +20,37 @@ Supported leaf types: ``None``, ``bool``, ``int``, ``float``, ``str``,
 ``bytes`` (base64 in the header), numpy scalars and ndarrays, plus arbitrarily
 nested ``dict`` / ``list`` / ``tuple`` containers (tuples decode as lists,
 matching JSON semantics).
+
+Zero-copy fast path
+-------------------
+
+:func:`encode_payload_frame` is the hot-path entry point: it produces a
+:class:`PayloadFrame` — the frame prefix (magic + header length + JSON
+header) plus an ordered list of ``memoryview`` segments that *alias* the
+ndarray leaves instead of copying them.  Nothing is materialized until a
+consumer asks for contiguous bytes (:meth:`PayloadFrame.tobytes`, a single
+writev-style gather), and :attr:`PayloadFrame.nbytes` / :func:`payload_size`
+never materialize at all.  :func:`encode_payload` is the
+materializing convenience wrapper; the decode side has always returned
+``np.frombuffer`` views when asked (``copy_arrays=False``).
 """
 
 from __future__ import annotations
 
 import base64
 import json
-from typing import Any, List, Tuple
+from typing import Any, List
 
 import numpy as np
 
-__all__ = ["encode_payload", "decode_payload", "payload_size", "SerializationError"]
+__all__ = [
+    "PayloadFrame",
+    "encode_payload",
+    "encode_payload_frame",
+    "decode_payload",
+    "payload_size",
+    "SerializationError",
+]
 
 MAGIC = b"MQFC"
 _HEADER_LEN_BYTES = 4
@@ -40,8 +60,68 @@ class SerializationError(ValueError):
     """Raised when an object cannot be encoded or a payload cannot be decoded."""
 
 
-def _encode_node(node: Any, buffers: List[bytes]) -> Any:
-    """Recursively convert ``node`` into a JSON-compatible structure."""
+class PayloadFrame:
+    """A segmented, immutable-by-convention MQTTFC frame.
+
+    ``segments`` is the ordered list of buffers that make up the frame: the
+    prefix (``MQFC`` magic + header length + JSON header, one ``bytes``
+    object) followed by one ``memoryview`` per ndarray leaf, each aliasing
+    the source array's memory — encoding a 10 MB state dict copies none of
+    its parameter bytes.  Consumers either iterate :attr:`segments`
+    writev-style (the chunking transport does) or call :meth:`tobytes` for a
+    contiguous frame, which performs the single unavoidable gather copy and
+    caches it.
+
+    Frames are shared across broker fan-out (every subscriber's delivery
+    record holds the same message object, hence the same frame), so the
+    segments — and the arrays they alias — must not be mutated after
+    encoding.
+    """
+
+    __slots__ = ("segments", "nbytes", "_joined")
+
+    def __init__(self, segments: List[object]) -> None:
+        self.segments = segments
+        self.nbytes = sum(
+            s.nbytes if isinstance(s, memoryview) else len(s) for s in segments
+        )
+        self._joined: bytes | None = None
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def tobytes(self) -> bytes:
+        """Materialize the frame as one contiguous ``bytes`` (cached).
+
+        This is the only copy the encode path performs: a single gather of
+        every segment into the result, with no per-leaf intermediates.
+        """
+        if self._joined is None:
+            self._joined = b"".join(self.segments)
+        return self._joined
+
+    def __bytes__(self) -> bytes:
+        return self.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PayloadFrame(segments={len(self.segments)}, nbytes={self.nbytes})"
+
+
+def _leaf_view(array: np.ndarray) -> memoryview:
+    """A flat byte view aliasing ``array``'s buffer (no copy for contiguous data)."""
+    if array.nbytes == 0:
+        # Zero-size views cannot be cast ("zeros in shape or strides").
+        return memoryview(b"")
+    return memoryview(array).cast("B")
+
+
+def _encode_node(node: Any, buffers: List[memoryview]) -> Any:
+    """Recursively convert ``node`` into a JSON-compatible structure.
+
+    ndarray leaves are appended to ``buffers`` as aliasing memoryviews; only
+    non-contiguous arrays are compacted (``ascontiguousarray``) first, which
+    is the copy a wire format cannot avoid.
+    """
     if node is None or isinstance(node, (bool, int, float, str)):
         return node
     if isinstance(node, (np.bool_,)):
@@ -55,7 +135,7 @@ def _encode_node(node: Any, buffers: List[bytes]) -> Any:
     if isinstance(node, np.ndarray):
         array = np.ascontiguousarray(node)
         index = len(buffers)
-        buffers.append(array.tobytes())
+        buffers.append(_leaf_view(array))
         return {
             "__nd__": index,
             "dtype": array.dtype.str,
@@ -95,33 +175,49 @@ def _decode_node(node: Any, buffers: List[memoryview], copy_arrays: bool) -> Any
     return node
 
 
-def encode_payload(obj: Any) -> bytes:
-    """Encode ``obj`` into the MQTTFC binary payload format."""
-    buffers: List[bytes] = []
+def encode_payload_frame(obj: Any) -> PayloadFrame:
+    """Encode ``obj`` into a segmented :class:`PayloadFrame` (zero leaf copies).
+
+    The returned frame's segments alias every contiguous ndarray leaf in
+    ``obj``; neither the leaves nor a whole-frame concatenation are
+    materialized here.
+    """
+    buffers: List[memoryview] = []
     structure = _encode_node(obj, buffers)
     header = {
         "v": 1,
         "structure": structure,
-        "buffer_lengths": [len(b) for b in buffers],
+        "buffer_lengths": [b.nbytes for b in buffers],
     }
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    parts = [MAGIC, len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little"), header_bytes]
-    parts.extend(buffers)
-    return b"".join(parts)
+    prefix = MAGIC + len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little") + header_bytes
+    return PayloadFrame([prefix, *buffers])
 
 
-def decode_payload(payload: bytes | memoryview, copy_arrays: bool = True) -> Any:
-    """Decode a payload produced by :func:`encode_payload`.
+def encode_payload(obj: Any) -> bytes:
+    """Encode ``obj`` into the MQTTFC binary payload format (contiguous bytes).
+
+    Convenience wrapper over :func:`encode_payload_frame`: the leaves are
+    gathered into the result in one pass, with no per-leaf ``tobytes`` copies
+    and no second whole-frame concatenation.
+    """
+    return encode_payload_frame(obj).tobytes()
+
+
+def decode_payload(payload: "bytes | bytearray | memoryview | PayloadFrame", copy_arrays: bool = True) -> Any:
+    """Decode a payload produced by :func:`encode_payload` (or a frame).
 
     Parameters
     ----------
     payload:
-        The raw bytes.
+        The raw bytes (any buffer-protocol object) or a :class:`PayloadFrame`.
     copy_arrays:
         When True (default) ndarray leaves own their memory; when False they
         are read-only views into ``payload`` (zero-copy, useful for the
         aggregation hot path where the arrays are immediately reduced).
     """
+    if isinstance(payload, PayloadFrame):
+        payload = payload.tobytes()
     view = memoryview(payload)
     if len(view) < len(MAGIC) + _HEADER_LEN_BYTES:
         raise SerializationError("payload too short to be an MQTTFC payload")
@@ -154,5 +250,9 @@ def decode_payload(payload: bytes | memoryview, copy_arrays: bool = True) -> Any
 
 
 def payload_size(obj: Any) -> int:
-    """Return the encoded size of ``obj`` in bytes without keeping the encoding."""
-    return len(encode_payload(obj))
+    """Return the encoded size of ``obj`` in bytes without materializing it.
+
+    Only the JSON header is built; ndarray leaf sizes are summed from the
+    aliasing segment views, so sizing a multi-MB state dict copies nothing.
+    """
+    return encode_payload_frame(obj).nbytes

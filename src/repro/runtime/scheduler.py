@@ -380,7 +380,13 @@ class EventScheduler:
         # a persistent session are requeued in the broker's offline queue (they
         # replay on reconnect); everything else is dropped, as on a real
         # broker where the TCP connection died mid-flight.
-        if getattr(target, "connected", True) is False:
+        # (try/except beats getattr-with-default on this per-delivery path:
+        # the attributes exist on every real target, so the guard is free.)
+        try:
+            connected = target.connected
+        except AttributeError:
+            connected = True
+        if connected is False:
             if self._requeue_offline(record):
                 self.deliveries_requeued += 1
             else:
@@ -392,12 +398,13 @@ class EventScheduler:
                 f"{message.topic}|{message.sender_id}|{record.subscriber_id}"
                 f"|{record.deliver_at:.9f}|{record.sequence}\n".encode()
             )
-        dispatch = getattr(target, "_dispatch", None)
-        if dispatch is not None:
-            handled = bool(dispatch(record))
-        else:  # plain DeliveryTarget: hand the record over untimed
+        try:
+            dispatch = target._dispatch
+        except AttributeError:  # plain DeliveryTarget: hand the record over untimed
             target._deliver(record)
-            handled = True
+            self.messages_processed += 1
+            return True
+        handled = bool(dispatch(record))
         if handled:
             self.messages_processed += 1
         return handled

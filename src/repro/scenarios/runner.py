@@ -86,6 +86,21 @@ class ScenarioResult:
         """Summed observed messaging makespans (the event-scheduler view)."""
         return float(sum(r.delay.messaging_s for r in self.rounds))
 
+    @property
+    def total_planning_s(self) -> float:
+        """Summed per-round time spent in the PLANNING phase."""
+        return float(sum(r.planning_s for r in self.rounds))
+
+    @property
+    def total_collecting_s(self) -> float:
+        """Summed per-round time spent in the COLLECTING phase."""
+        return float(sum(r.collecting_s for r in self.rounds))
+
+    @property
+    def total_aggregating_s(self) -> float:
+        """Summed per-round time spent in the AGGREGATING phase."""
+        return float(sum(r.aggregating_s for r in self.rounds))
+
     def round_rows(self) -> List[Dict[str, object]]:
         """Per-round metric rows (rendered by ``format_table``)."""
         rows: List[Dict[str, object]] = []
@@ -97,6 +112,9 @@ class ScenarioResult:
                     "accuracy": result.test_accuracy,
                     "round_delay_s": result.delay.total_s,
                     "messaging_s": result.delay.messaging_s,
+                    "planning_s": result.planning_s,
+                    "collecting_s": result.collecting_s,
+                    "aggregating_s": result.aggregating_s,
                     "messages": result.messages_routed,
                     "traffic_bytes": result.traffic_bytes,
                     "roles_changed": result.roles_changed,
@@ -143,6 +161,9 @@ class CellResult:
     final_accuracy: float
     total_s: float
     messaging_s: float
+    planning_s: float
+    collecting_s: float
+    aggregating_s: float
     sim_time_s: float
     messages: int
     traffic_bytes: int
@@ -167,6 +188,9 @@ class CellResult:
             final_accuracy=result.final_accuracy,
             total_s=result.total_delay_s,
             messaging_s=result.total_messaging_s,
+            planning_s=result.total_planning_s,
+            collecting_s=result.total_collecting_s,
+            aggregating_s=result.total_aggregating_s,
             sim_time_s=result.final_sim_time_s,
             messages=result.messages_processed,
             traffic_bytes=result.total_traffic_bytes,

@@ -181,3 +181,152 @@ class TestFedAvgMomentum:
     def test_invalid_momentum(self):
         with pytest.raises(ValueError):
             FedAvgMomentum(momentum=1.5)
+
+
+class TestStreamingEquivalence:
+    """PR-5 streaming accumulation vs the matrix reference path."""
+
+    def _reference(self, strategy, contributions):
+        from repro.core.aggregation import _stack_contributions
+        from repro.ml.state import unflatten_state_dict
+
+        matrix, weights, spec = _stack_contributions(contributions)
+        return unflatten_state_dict(strategy.reduce(matrix, weights), spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.sampled_from(["float32", "float64"]),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fedavg_streaming_matches_matrix(self, num, dtype, uniform_weights, seed):
+        rng = np.random.default_rng(seed)
+        contributions = [
+            ModelContribution(
+                {
+                    "w": rng.normal(size=(5, 4)).astype(dtype),
+                    "b": rng.normal(size=7).astype(dtype),
+                },
+                weight=1.0 if uniform_weights else float(rng.uniform(0.1, 90.0)),
+                sender_id=f"c{i}",
+            )
+            for i in range(num)
+        ]
+        streaming = FedAvg().aggregate(contributions)
+        reference = self._reference(FedAvg(), contributions)
+        for name in reference:
+            # Bit-identical for realistic fan-ins; a tiny reassociation bound
+            # covers numpy's pairwise summation kicking in at large K.
+            np.testing.assert_allclose(streaming[name], reference[name], rtol=0, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=9), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_uniform_mean_streaming_matches_matrix(self, num, seed):
+        rng = np.random.default_rng(seed)
+        contributions = [
+            ModelContribution({"w": rng.normal(size=(3, 3)), "b": rng.normal(size=2)})
+            for _ in range(num)
+        ]
+        streaming = UniformAverage().aggregate(contributions)
+        reference = self._reference(UniformAverage(), contributions)
+        for name in reference:
+            np.testing.assert_array_equal(streaming[name], reference[name])
+
+    def test_small_fanin_is_bit_identical(self):
+        """The scenario goldens rely on bitwise identity at realistic fan-ins."""
+        rng = np.random.default_rng(3)
+        for num in range(1, 8):
+            contributions = [
+                ModelContribution(
+                    {"w": rng.normal(size=(6, 5)).astype(np.float32)},
+                    weight=float(rng.uniform(1, 40)),
+                )
+                for _ in range(num)
+            ]
+            streaming = FedAvg().aggregate(contributions)
+            reference = self._reference(FedAvg(), contributions)
+            assert np.array_equal(streaming["w"], reference["w"])
+
+    def test_momentum_streaming_matches_matrix(self):
+        rng = np.random.default_rng(5)
+        stream_strategy = FedAvgMomentum(momentum=0.8)
+        matrix_strategy = FedAvgMomentum(momentum=0.8)
+        for _round in range(4):
+            contributions = [
+                ModelContribution({"w": rng.normal(size=(4, 2))}, weight=float(w))
+                for w in rng.uniform(1, 10, size=3)
+            ]
+            streaming = stream_strategy.aggregate(contributions)
+            reference = self._reference(matrix_strategy, contributions)
+            assert np.array_equal(streaming["w"], reference["w"])
+
+    def test_streaming_shape_mismatch_raises(self):
+        contributions = [
+            ModelContribution({"w": np.zeros((2, 2))}),
+            ModelContribution({"w": np.zeros((2, 3))}, sender_id="bad"),
+        ]
+        with pytest.raises(AggregationError, match="mismatched parameter shapes"):
+            FedAvg().aggregate(contributions)
+
+    def test_streaming_missing_leaf_raises(self):
+        contributions = [
+            ModelContribution({"w": np.zeros((2, 2)), "b": np.zeros(2)}),
+            ModelContribution({"w": np.zeros((2, 2))}, sender_id="bad"),
+        ]
+        with pytest.raises(AggregationError, match="mismatched parameter shapes"):
+            FedAvg().aggregate(contributions)
+
+    def test_streaming_rejects_empty(self):
+        with pytest.raises(AggregationError):
+            FedAvg().aggregate([])
+
+    def test_streaming_does_not_mutate_inputs(self):
+        rng = np.random.default_rng(9)
+        states = [{"w": rng.normal(size=(3, 3))} for _ in range(4)]
+        copies = [{k: v.copy() for k, v in s.items()} for s in states]
+        FedAvg().aggregate([ModelContribution(s, weight=i + 1.0) for i, s in enumerate(states)])
+        for original, copied in zip(states, copies):
+            assert np.array_equal(original["w"], copied["w"])
+
+
+class TestContributionNbytesCache:
+    def test_nbytes_cached_at_construction(self):
+        from repro.ml.state import state_dict_nbytes
+
+        state = {"w": np.zeros((10, 10), dtype=np.float32), "b": np.zeros(10)}
+        contribution = ModelContribution(state)
+        assert contribution.nbytes == state_dict_nbytes(state)
+
+    def test_buffer_accounting_uses_cached_nbytes(self):
+        """add/replace/take/drain balance byte accounting via the cached value."""
+        from repro.core.aggregation import ContributionBuffer
+
+        class Accountant:
+            def __init__(self):
+                self.allocated = 0
+
+            def allocate(self, _owner, nbytes):
+                self.allocated += nbytes
+
+            def release(self, _owner, nbytes):
+                self.allocated -= nbytes
+
+        accountant = Accountant()
+        buffer = ContributionBuffer("me", resources=accountant)
+        peer = ModelContribution({"w": np.zeros(100)}, sender_id="peer", round_index=0)
+        own = ModelContribution({"w": np.zeros(100)}, sender_id="me", round_index=0)
+        assert buffer.add(peer, min_epoch=0, charge_memory=True)
+        assert buffer.add(own, min_epoch=0, charge_memory=False)
+        assert buffer.buffered_bytes == peer.nbytes + own.nbytes
+        assert accountant.allocated == peer.nbytes
+
+        # Replacement (same sender, same round) releases the old charge once.
+        replacement = ModelContribution({"w": np.ones(100)}, sender_id="peer", round_index=0)
+        assert buffer.add(replacement, min_epoch=0, charge_memory=True)
+        assert accountant.allocated == replacement.nbytes
+
+        batch = buffer.take(0, 2)
+        assert batch is not None and len(batch) == 2
+        assert buffer.buffered_bytes == 0
+        assert accountant.allocated == 0

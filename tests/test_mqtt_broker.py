@@ -300,3 +300,116 @@ class TestNetworkIntegration:
         for _ in range(20):
             pub.publish("t", b"x", qos=QoS.AT_LEAST_ONCE)
         assert sub.loop() == 20
+
+
+class TestBufferProtocolPayloads:
+    """PR-5: messages accept buffer-protocol payloads without coercion."""
+
+    def test_bytearray_payload_not_coerced(self):
+        payload = bytearray(b"model-bytes")
+        message = MQTTMessage(topic="t", payload=payload)
+        assert message.payload is payload
+        assert message.size_bytes == len(payload)
+        assert message.payload_bytes() == bytes(payload)
+
+    def test_memoryview_payload_not_coerced(self):
+        backing = b"0123456789"
+        view = memoryview(backing)[2:8]
+        message = MQTTMessage(topic="t", payload=view)
+        assert message.payload is view
+        assert message.size_bytes == 6
+        assert message.payload_bytes() == b"234567"
+
+    def test_payload_frame_accepted(self):
+        import numpy as np
+
+        from repro.mqttfc.serialization import encode_payload_frame
+
+        frame = encode_payload_frame({"w": np.arange(16.0)})
+        message = MQTTMessage(topic="t", payload=frame)
+        assert message.payload is frame
+        assert message.size_bytes == frame.nbytes
+        assert message.payload_bytes() == frame.tobytes()
+
+    def test_str_payload_still_encoded(self):
+        message = MQTTMessage(topic="t", payload="hello")
+        assert message.payload == b"hello"
+        assert message.payload_text() == "hello"
+
+    def test_copy_shares_the_payload_buffer(self):
+        """copy() is documented shallow: one immutable buffer, many holders."""
+        payload = bytearray(b"shared")
+        message = MQTTMessage(topic="t", payload=payload)
+        duplicate = message.copy()
+        assert duplicate.payload is message.payload
+
+    def test_broker_routes_buffer_payloads_end_to_end(self):
+        broker = MQTTBroker("b")
+        sub = MQTTClient("sub")
+        sub.connect(broker)
+        sub.subscribe("bin/#")
+        seen = []
+        sub.on_message = lambda _c, m: seen.append(m.payload_bytes())
+        pub = MQTTClient("pub")
+        pub.connect(broker)
+        pub.publish("bin/data", memoryview(b"zero-copy"))
+        sub.loop()
+        assert seen == [b"zero-copy"]
+
+
+class TestRoutePlanCache:
+    """The fan-out routing plan is memoized per topic and invalidated correctly."""
+
+    def _fleet(self):
+        broker = MQTTBroker("b")
+        clients = []
+        for index in range(3):
+            client = MQTTClient(f"c{index}")
+            client.connect(broker)
+            client.subscribe("all/cmd", QoS.AT_LEAST_ONCE)
+            clients.append(client)
+        pub = MQTTClient("pub")
+        pub.connect(broker)
+        return broker, clients, pub
+
+    def test_repeat_publishes_hit_the_plan(self):
+        broker, _clients, pub = self._fleet()
+        for _ in range(5):
+            pub.publish("all/cmd", b"x")
+        assert broker.route_cache_misses == 1
+        assert broker.route_cache_hits == 4
+
+    def test_subscribe_invalidates_the_plan(self):
+        broker, clients, pub = self._fleet()
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 3
+        late = MQTTClient("late")
+        late.connect(broker)
+        late.subscribe("all/cmd")
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 4
+
+    def test_unsubscribe_invalidates_the_plan(self):
+        broker, clients, pub = self._fleet()
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 3
+        clients[0].unsubscribe("all/cmd")
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 2
+
+    def test_clean_disconnect_invalidates_the_plan(self):
+        broker, clients, pub = self._fleet()
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 3
+        clients[2].disconnect()
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 2
+
+    def test_plan_keeps_max_qos_per_client_with_overlapping_filters(self):
+        broker = MQTTBroker("b")
+        sub = MQTTClient("sub")
+        sub.connect(broker)
+        sub.subscribe("a/#", QoS.AT_MOST_ONCE)
+        sub.subscribe("a/+", QoS.EXACTLY_ONCE)
+        pub = MQTTClient("pub")
+        pub.connect(broker)
+        for _attempt in range(2):  # second publish comes from the cached plan
+            deliveries = broker.publish(
+                MQTTMessage(topic="a/b", payload=b"x", qos=QoS.EXACTLY_ONCE, sender_id="pub")
+            )
+            assert len(deliveries) == 1
+            assert deliveries[0].effective_qos == QoS.EXACTLY_ONCE

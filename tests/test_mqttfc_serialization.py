@@ -142,3 +142,84 @@ class TestErrors:
         encoded[10] = 0xFF
         with pytest.raises(SerializationError):
             decode_payload(bytes(encoded))
+
+
+class TestPayloadFrame:
+    """The PR-5 zero-copy fast path: segmented frames, aliasing both ways."""
+
+    def test_segments_alias_source_arrays(self):
+        from repro.mqttfc.serialization import encode_payload_frame
+
+        state = {
+            "w": np.arange(64, dtype=np.float32).reshape(8, 8),
+            "b": np.linspace(0.0, 1.0, 16),
+        }
+        frame = encode_payload_frame({"state": state})
+        # prefix + one segment per leaf, no materialization yet
+        assert len(frame.segments) == 3
+        assert frame._joined is None
+        for array, segment in zip(state.values(), frame.segments[1:]):
+            assert isinstance(segment, memoryview)
+            assert np.shares_memory(np.frombuffer(segment, dtype=np.uint8), array)
+
+    def test_frame_tobytes_matches_encode_payload(self):
+        from repro.mqttfc.serialization import encode_payload_frame
+
+        payload = {"state": {"w": np.ones((3, 3), dtype=np.float32)}, "x": [1, "two", None]}
+        assert encode_payload_frame(payload).tobytes() == encode_payload(payload)
+
+    def test_payload_size_without_materialization(self):
+        payload = {"state": {"w": np.zeros((256, 256))}}
+        assert payload_size(payload) == len(encode_payload(payload))
+
+    def test_decode_accepts_frame(self):
+        from repro.mqttfc.serialization import encode_payload_frame
+
+        payload = {"w": np.arange(5.0)}
+        _assert_equal(payload, decode_payload(encode_payload_frame(payload)))
+
+    def test_noncontiguous_leaves_are_compacted_not_broken(self):
+        from repro.mqttfc.serialization import encode_payload_frame
+
+        base = np.arange(20, dtype=np.float64)
+        strided = base[::2]
+        frame = encode_payload_frame({"s": strided})
+        decoded = decode_payload(frame.tobytes(), copy_arrays=False)
+        np.testing.assert_array_equal(decoded["s"], strided)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+                min_size=1,
+                max_size=8,
+            ),
+            hnp.arrays(
+                dtype=st.sampled_from([np.float32, np.float64, np.int32, np.uint8]),
+                shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=6),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_round_trip_leaves_are_views_into_the_frame(self, state):
+        """Property: decoded ndarray leaves *alias* the frame buffer — no hidden copies."""
+        raw = encode_payload({"state": state})
+        raw_bytes = np.frombuffer(raw, dtype=np.uint8)
+        decoded = decode_payload(raw, copy_arrays=False)["state"]
+        assert set(decoded) == set(state)
+        for name, original in state.items():
+            view = decoded[name]
+            np.testing.assert_array_equal(view, original)
+            assert view.dtype == original.dtype
+            # The decoded leaf is a read-only np.frombuffer view of the raw
+            # frame, not a copy (zero-size leaves carry no buffer to alias).
+            assert not view.flags.writeable
+            if view.nbytes:
+                assert np.shares_memory(view, raw_bytes)
+        # And the copying mode really does detach from the frame.
+        copied = decode_payload(raw, copy_arrays=True)["state"]
+        for name in state:
+            if copied[name].nbytes:
+                assert not np.shares_memory(copied[name], raw_bytes)

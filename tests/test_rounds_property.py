@@ -242,3 +242,92 @@ class TestTransitionTableFuzz:
         assert lifecycle.deadline_at is None
         with pytest.raises(RoundLifecycleError):
             lifecycle.deadline_expired()
+
+
+class TestPhaseTimer:
+    """Per-phase dwell-time accounting over timestamped lifecycle events."""
+
+    def _lifecycle_with_clock(self):
+        from repro.core.rounds import PhaseTimer, RoundLifecycle
+
+        times = {"now": 0.0}
+        lifecycle = RoundLifecycle("s", clock=lambda: times["now"])
+        timer = PhaseTimer()
+        lifecycle.subscribe(timer.on_event)
+        return lifecycle, timer, times
+
+    def test_phase_durations_accumulate(self):
+        lifecycle, timer, times = self._lifecycle_with_clock()
+        lifecycle.admit("a")
+        lifecycle.begin_round(0)        # PLANNING enters at t=0
+        times["now"] = 1.5
+        lifecycle.roles_announced()     # COLLECTING enters at 1.5
+        times["now"] = 5.0
+        lifecycle.global_stored()       # AGGREGATING enters at 5.0
+        times["now"] = 5.75
+        lifecycle.advance()
+        breakdown = timer.round_times(0)
+        assert breakdown == {"planning_s": 1.5, "collecting_s": 3.5, "aggregating_s": 0.75}
+
+    def test_restart_reentry_sums_collecting(self):
+        lifecycle, timer, times = self._lifecycle_with_clock()
+        lifecycle.admit("a")
+        lifecycle.begin_round(0)
+        lifecycle.roles_announced()     # COLLECTING at 0
+        times["now"] = 2.0
+        lifecycle.restart()             # leaves COLLECTING at 2.0
+        times["now"] = 2.5
+        lifecycle.resume()              # re-enters COLLECTING at 2.5
+        times["now"] = 4.0
+        lifecycle.global_stored()       # +1.5
+        times["now"] = 4.5
+        lifecycle.advance()
+        breakdown = timer.round_times(0)
+        assert breakdown["collecting_s"] == pytest.approx(3.5)
+        assert breakdown["aggregating_s"] == pytest.approx(0.5)
+
+    def test_exclude_discounts_clock_jumps(self):
+        lifecycle, timer, times = self._lifecycle_with_clock()
+        lifecycle.admit("a")
+        lifecycle.begin_round(0)
+        lifecycle.roles_announced()
+        times["now"] = 10.0             # 8s of this is an analytic jump
+        timer.exclude(8.0)
+        lifecycle.global_stored()
+        lifecycle.advance()
+        assert timer.round_times(0)["collecting_s"] == pytest.approx(2.0)
+
+    def test_prime_opens_the_current_phase(self):
+        from repro.core.rounds import PhaseTimer, RoundLifecycle
+
+        times = {"now": 3.0}
+        lifecycle = RoundLifecycle("s", clock=lambda: times["now"])
+        lifecycle.admit("a")
+        lifecycle.begin_round(0)
+        lifecycle.roles_announced()     # already COLLECTING before the timer exists
+        timer = PhaseTimer()
+        timer.prime(lifecycle.phase, lifecycle.round_index, times["now"])
+        lifecycle.subscribe(timer.on_event)
+        times["now"] = 7.0
+        lifecycle.global_stored()
+        lifecycle.advance()
+        assert timer.round_times(0)["collecting_s"] == pytest.approx(4.0)
+
+    def test_unseen_round_reports_zeros(self):
+        from repro.core.rounds import PhaseTimer
+
+        assert PhaseTimer().round_times(4) == {
+            "planning_s": 0.0,
+            "collecting_s": 0.0,
+            "aggregating_s": 0.0,
+        }
+
+    def test_clockless_lifecycle_stamps_zero(self):
+        from repro.core.rounds import RoundLifecycle
+
+        events = []
+        lifecycle = RoundLifecycle("s")
+        lifecycle.subscribe(events.append)
+        lifecycle.admit("a")
+        lifecycle.begin_round(0)
+        assert all(event.at == 0.0 for event in events)

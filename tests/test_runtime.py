@@ -279,3 +279,25 @@ class TestFLExperiment:
         brokers_before = experiment.brokers
         experiment.setup()
         assert experiment.brokers is brokers_before
+
+
+class TestPerPhaseRoundTiming:
+    """RoundResult carries the lifecycle-derived per-phase breakdown."""
+
+    def test_phase_columns_exported_and_sane(self):
+        config = ExperimentConfig(
+            num_clients=4, fl_rounds=2, local_epochs=1, dataset_samples=600,
+            client_data_fraction=0.05, batch_size=16, seed=3, train_for_real=False,
+        )
+        result = FLExperiment(config).run()
+        for round_result in result.rounds:
+            row = round_result.as_dict()
+            for key in ("planning_s", "collecting_s", "aggregating_s"):
+                assert key in row
+                assert row[key] >= 0.0
+            # The analytic critical-path advance is excluded, so the phase
+            # breakdown stays on the observed-messaging footing.
+            observed = row["collecting_s"] + row["aggregating_s"] + row["planning_s"]
+            assert observed <= row["messaging_s"] + row["round_delay_s"] + 1e-9
+        # Contributions were in flight for a nonzero simulated span.
+        assert any(r.collecting_s > 0 for r in result.rounds)

@@ -432,6 +432,9 @@ class TestReportEmitters:
             final_accuracy = 0.5
             total_s = 1.0
             messaging_s = 0.5
+            planning_s = 0.0
+            collecting_s = 0.3
+            aggregating_s = 0.1
             messages = 10
             traffic_bytes = 100
             clients_dropped = 0
@@ -455,6 +458,9 @@ class TestReportEmitters:
             final_accuracy = 0.25
             total_s = 2.0
             messaging_s = 1.0
+            planning_s = 0.0
+            collecting_s = 0.6
+            aggregating_s = 0.2
             messages = 5
             traffic_bytes = 50
             clients_dropped = 0

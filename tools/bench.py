@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""Perf-measurement backbone: run the benchmark suite + microbenches, emit JSON.
+
+This is the repo's durable performance harness.  It executes the hot-path
+microbenchmarks (scheduler routing throughput, MQTTFC codec encode/decode,
+streaming aggregation reduce, 1.2k-client broadcast peak RSS) in-process,
+optionally smokes the full ``benchmarks/`` pytest suite, and writes a
+machine-readable ``BENCH_*.json`` whose schema the CI ``bench-smoke`` job
+consumes for regression gating.
+
+Usage::
+
+    python tools/bench.py                         # full run, JSON to stdout
+    python tools/bench.py --output BENCH_pr5.json # write the trajectory file
+    python tools/bench.py --quick                 # reduced sizes (CI smoke)
+    python tools/bench.py --suite                 # also pytest the benchmarks/
+    python tools/bench.py --quick --check BENCH_pr5.json [--tolerance 0.2]
+                                                  # fail if deliveries/s regressed
+
+The regression check re-measures scheduler throughput on the current machine
+and fails (exit 1) when it lands more than ``--tolerance`` (default 20%)
+below the committed baseline's ``scheduler_deliveries_per_s``.  See
+``docs/performance.md`` for how to read and regenerate the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from typing import Dict
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+SCHEMA = "repro-bench/v1"
+#: The metric the CI regression gate compares across runs/machines.
+GATE_METRIC = "scheduler_deliveries_per_s"
+
+SCHEDULER_CLIENTS = 1_200
+SCHEDULER_BROADCASTS = 25
+
+
+# ----------------------------------------------------------------- workloads
+# Single home of the benchmark workload builders: the pytest benchmarks
+# (benchmarks/test_codec_micro.py, test_aggregation_micro.py,
+# test_scheduler_throughput.py) import these, so the numbers in BENCH_*.json
+# and the numbers the suite prints always come from the same shapes.
+
+
+def build_codec_state(payload_mb: int) -> dict:
+    """~``payload_mb`` MB of model parameters (float32-heavy, mixed dtypes)."""
+    rng = np.random.default_rng(7)
+    floats = payload_mb * 1024 * 1024 // 4
+    half = floats // 2
+    return {
+        "dense.weight": rng.normal(size=(half // 256, 256)).astype(np.float32),
+        "dense.bias": rng.normal(size=256).astype(np.float32),
+        "head.weight": rng.normal(size=(half // 64, 64)).astype(np.float32),
+        "head.bias": np.zeros(64, dtype=np.float64),
+    }
+
+
+def build_contributions(num_contributions: int, params: int) -> list:
+    """``num_contributions`` model contributions of ~``params`` parameters."""
+    from repro.core.aggregation import ModelContribution
+
+    rng = np.random.default_rng(11)
+    rows = params // 128
+    return [
+        ModelContribution(
+            {
+                "w": rng.normal(size=(rows, 128)).astype(np.float32),
+                "b": rng.normal(size=128).astype(np.float32),
+            },
+            weight=float(rng.uniform(1, 40)),
+            sender_id=f"client_{i:03d}",
+        )
+        for i in range(num_contributions)
+    ]
+
+
+# --------------------------------------------------------------- microbenches
+
+
+def bench_scheduler(num_clients: int = SCHEDULER_CLIENTS,
+                    num_broadcasts: int = SCHEDULER_BROADCASTS,
+                    payload: bytes = b"sync") -> Dict[str, float]:
+    """Publish → schedule → heap-drain → callback throughput at fleet scale.
+
+    Mirrors ``benchmarks/test_scheduler_throughput.py`` (same fleet shape, so
+    the numbers are comparable) without the pytest harness around it.
+    """
+    from repro.mqtt.broker import MQTTBroker
+    from repro.mqtt.client import MQTTClient
+    from repro.mqtt.messages import QoS
+    from repro.mqtt.network import NetworkModel
+    from repro.runtime.scheduler import EventScheduler
+    from repro.sim.clock import SimulationClock
+
+    clock = SimulationClock()
+    broker = MQTTBroker("bench-broker", network=NetworkModel(seed=3), clock=clock)
+    scheduler = EventScheduler(clock=clock)
+    scheduler.attach_broker(broker)
+
+    received = [0] * num_clients
+    for index in range(num_clients):
+        client = MQTTClient(f"dev_{index:04d}")
+        client.connect(broker)
+        client.subscribe("fleet/all/cmd", QoS.AT_LEAST_ONCE)
+        client.subscribe(f"fleet/dev_{index:04d}/cmd", QoS.AT_LEAST_ONCE)
+
+        def on_message(_c, _m, index=index):
+            received[index] += 1
+
+        client.on_message = on_message
+        scheduler.register(client)
+
+    commander = MQTTClient("commander")
+    commander.connect(broker)
+
+    start = time.perf_counter()
+    for round_index in range(num_broadcasts):
+        commander.publish("fleet/all/cmd", payload, qos=QoS.AT_LEAST_ONCE)
+        commander.publish(f"fleet/dev_{round_index:04d}/cmd", b"ping", qos=QoS.AT_LEAST_ONCE)
+        scheduler.run_until_idle()
+    elapsed = time.perf_counter() - start
+
+    delivered = sum(received)
+    expected = num_clients * num_broadcasts + num_broadcasts
+    if delivered != expected:
+        raise RuntimeError(f"scheduler bench delivered {delivered}, expected {expected}")
+    return {
+        "scheduler_clients": num_clients,
+        "scheduler_deliveries": delivered,
+        "scheduler_wall_s": elapsed,
+        GATE_METRIC: delivered / max(elapsed, 1e-9),
+    }
+
+
+def bench_scheduler_best(rounds: int = 3) -> Dict[str, float]:
+    """Best-of-``rounds`` scheduler measurement (the gate metric's estimator).
+
+    Throughput noise is one-sided (interference only slows a run down), so
+    the max across a few runs is the stable estimator — used for both the
+    committed baseline and the regression check, keeping their variance
+    symmetric.
+    """
+    results = [bench_scheduler() for _ in range(rounds)]
+    return max(results, key=lambda result: result[GATE_METRIC])
+
+
+def bench_codec(payload_mb: int) -> Dict[str, float]:
+    """Encode/decode throughput of an ~``payload_mb`` MB model state dict."""
+    from repro.mqttfc.serialization import decode_payload, encode_payload, payload_size
+
+    payload = {"state": build_codec_state(payload_mb), "round_index": 0, "sender": "client_000"}
+    size_mb = payload_size(payload) / (1024 * 1024)
+
+    encode_s = min(
+        _timed(lambda: encode_payload(payload)) for _ in range(3)
+    )
+    raw = encode_payload(payload)
+    decode_s = min(
+        _timed(lambda: decode_payload(raw, copy_arrays=False)) for _ in range(3)
+    )
+    return {
+        "codec_payload_mb": size_mb,
+        "codec_encode_mb_per_s": size_mb / max(encode_s, 1e-9),
+        "codec_decode_mb_per_s": size_mb / max(decode_s, 1e-9),
+    }
+
+
+def bench_aggregation(num_contributions: int, params: int) -> Dict[str, float]:
+    """Streaming FedAvg reduce time over ``num_contributions`` × ``params``."""
+    from repro.core.aggregation import FedAvg
+
+    contributions = build_contributions(num_contributions, params)
+    aggregator = FedAvg()
+    reduce_s = min(_timed(lambda: aggregator.aggregate(contributions)) for _ in range(3))
+    return {
+        "aggregation_contributions": num_contributions,
+        "aggregation_params": (params // 128) * 128 + 128,
+        "aggregation_reduce_s": reduce_s,
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _peak_rss_mb() -> float:
+    """This process's lifetime peak RSS in MB (ru_maxrss is KB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def bench_fanout_rss(num_clients: int, num_broadcasts: int) -> Dict[str, float]:
+    """Peak RSS of a fleet-scale broadcast, measured in a fresh subprocess.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so the probe must
+    not share this process (whose other benches would pollute the number).
+    """
+    probe = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--fanout-probe", str(num_clients), str(num_broadcasts),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=_REPO_ROOT,
+    )
+    return json.loads(probe.stdout)
+
+
+#: Broadcast payload for the RSS probe.  Large enough that a reintroduced
+#: per-record payload copy (1.2k subscribers × 512 KiB × in-flight records)
+#: towers over the interpreter's import footprint, while the zero-copy path
+#: shares the one buffer across the whole fan-out.
+_FANOUT_PAYLOAD_BYTES = 512 * 1024
+
+
+def _fanout_probe(num_clients: int, num_broadcasts: int) -> None:
+    """Subprocess entry point: run the broadcast, print the RSS metrics.
+
+    ``ru_maxrss`` is a lifetime high-water mark, so the probe runs in its own
+    process and reports the *delta* above the post-import baseline alongside
+    the absolute peak — the delta is the fan-out's own memory and is what a
+    copy-per-subscriber regression moves.
+    """
+    baseline_mb = _peak_rss_mb()
+    result = bench_scheduler(num_clients, num_broadcasts, payload=bytes(_FANOUT_PAYLOAD_BYTES))
+    peak_mb = _peak_rss_mb()
+    print(json.dumps({
+        "fanout_clients": num_clients,
+        "fanout_deliveries": result["scheduler_deliveries"],
+        "fanout_payload_bytes": _FANOUT_PAYLOAD_BYTES,
+        "fanout_peak_rss_mb": peak_mb,
+        "fanout_baseline_rss_mb": baseline_mb,
+        "fanout_rss_delta_mb": peak_mb - baseline_mb,
+    }))
+
+
+# ----------------------------------------------------------------- the runner
+
+
+def run_benches(quick: bool, label: str = "adhoc") -> Dict[str, object]:
+    """Execute every microbench; returns the BENCH json document."""
+    metrics: Dict[str, float] = {}
+    print("• scheduler routing throughput ...", file=sys.stderr)
+    metrics.update(bench_scheduler_best())
+    print("• codec encode/decode ...", file=sys.stderr)
+    metrics.update(bench_codec(payload_mb=2 if quick else 10))
+    print("• streaming aggregation reduce ...", file=sys.stderr)
+    metrics.update(
+        bench_aggregation(
+            num_contributions=8 if quick else 24,
+            params=100_000 if quick else 1_000_000,
+        )
+    )
+    print("• fan-out peak RSS (subprocess) ...", file=sys.stderr)
+    metrics.update(bench_fanout_rss(SCHEDULER_CLIENTS, SCHEDULER_BROADCASTS))
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "quick": bool(quick),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "metrics": metrics,
+    }
+
+
+def run_suite(quick: bool) -> int:
+    """Smoke the ``benchmarks/`` pytest suite; returns the exit code."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if quick:
+        env["REPRO_BENCH_FAST"] = "1"
+    targets = [
+        "benchmarks/test_scheduler_throughput.py",
+        "benchmarks/test_topic_match_micro.py",
+        "benchmarks/test_codec_micro.py",
+        "benchmarks/test_aggregation_micro.py",
+    ]
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "-q", "-s", *targets], env=env, cwd=_REPO_ROOT
+    )
+
+
+def check_regression(baseline_path: str, tolerance: float, fresh_path: str | None = None) -> int:
+    """Fresh scheduler figure vs the committed baseline; 0 = within tolerance.
+
+    With ``fresh_path`` the fresh figure is read from an already-emitted
+    BENCH json (the CI job gates on the exact artifact it uploads);
+    otherwise the scheduler bench is re-measured best-of-3.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != SCHEMA:
+        print(f"unrecognized baseline schema in {baseline_path}", file=sys.stderr)
+        return 2
+    reference = float(baseline["metrics"][GATE_METRIC])
+    if fresh_path is not None:
+        with open(fresh_path, "r", encoding="utf-8") as handle:
+            fresh_doc = json.load(handle)
+        if fresh_doc.get("schema") != SCHEMA:
+            print(f"unrecognized fresh schema in {fresh_path}", file=sys.stderr)
+            return 2
+        fresh = float(fresh_doc["metrics"][GATE_METRIC])
+    else:
+        fresh = bench_scheduler_best()[GATE_METRIC]
+    floor = reference * (1.0 - tolerance)
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"{GATE_METRIC}: fresh {fresh:,.0f}/s vs baseline {reference:,.0f}/s "
+        f"(floor {floor:,.0f}/s at {tolerance:.0%} tolerance) -> {verdict}"
+    )
+    # Absolute throughput is machine-dependent; surface an environment
+    # mismatch so a gate failure on a different class of machine is easy to
+    # diagnose (regenerate the baseline with --output on the gating machine,
+    # or widen --tolerance, when the environments legitimately differ).
+    recorded = baseline.get("environment", {})
+    current = {"platform": platform.platform(), "cpu_count": os.cpu_count()}
+    for key, value in current.items():
+        if key in recorded and recorded[key] != value:
+            print(
+                f"note: baseline {key} was {recorded[key]!r}, this machine is "
+                f"{value!r} — absolute numbers may not be comparable",
+                file=sys.stderr,
+            )
+    return 0 if fresh >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced sizes (CI smoke)")
+    parser.add_argument("--output", help="write the BENCH json here (default: stdout)")
+    parser.add_argument("--suite", action="store_true", help="also run the benchmarks/ pytest suite")
+    parser.add_argument("--check", metavar="BASELINE", help="regression-gate against a committed BENCH json")
+    parser.add_argument("--fresh", metavar="FRESH", help="with --check: read the fresh figure from this BENCH json instead of re-measuring")
+    parser.add_argument("--tolerance", type=float, default=0.2, help="allowed fractional slowdown for --check (default 0.2)")
+    parser.add_argument("--fanout-probe", nargs=2, metavar=("CLIENTS", "BROADCASTS"), help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.fanout_probe:
+        _fanout_probe(int(args.fanout_probe[0]), int(args.fanout_probe[1]))
+        return 0
+
+    if args.check:
+        return check_regression(args.check, args.tolerance, fresh_path=args.fresh)
+
+    if args.suite:
+        code = run_suite(args.quick)
+        if code != 0:
+            return code
+
+    # The trajectory label comes from the output filename (BENCH_pr5.json ->
+    # "pr5"), so regenerated baselines are never mislabeled.
+    label = "adhoc"
+    if args.output:
+        stem = os.path.splitext(os.path.basename(args.output))[0]
+        label = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    document = run_benches(args.quick, label=label)
+    rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
