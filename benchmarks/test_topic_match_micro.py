@@ -85,3 +85,54 @@ def test_routing_micro_benchmark(benchmark):
     # one plan miss per distinct topic, everything else a hit).
     assert broker.route_cache_hits > NUM_PUBLISHES
     assert broker.route_cache_misses <= NUM_TOPICS
+
+
+def test_subscription_churn_keeps_hot_plans_cached(benchmark):
+    """Mid-run subscription churn must not re-miss the hot routing plans.
+
+    Models flash-crowd mid-round admission: a steady broadcast stream over a
+    hot topic while unrelated clients join and leave every round.  With
+    selective invalidation, each join/leave only evicts plans its own filter
+    matches, so the hot topic stays memoized — one plan miss total, the
+    hit/miss counters prove it.  (The seed cleared the whole cache on every
+    subscription change, re-missing every hot topic once per join.)
+    """
+    broker = MQTTBroker("churn")
+    subscribers = []
+    for index in range(20):
+        client = MQTTClient(f"sub_{index:02d}")
+        client.connect(broker)
+        client.subscribe("session/global/broadcast")
+        subscribers.append(client)
+    publisher = MQTTClient("pub")
+    publisher.connect(broker)
+
+    churn_rounds = 200
+
+    def churn():
+        for round_index in range(churn_rounds):
+            joiner = MQTTClient(f"joiner_{round_index:03d}")
+            joiner.connect(broker)
+            joiner.subscribe(f"clients/joiner_{round_index:03d}/inbox")
+            broker.publish(
+                MQTTMessage(topic="session/global/broadcast", payload=b"m", sender_id="pub")
+            )
+            joiner.disconnect()
+        for client in subscribers:
+            client.loop()
+        return broker.stats.messages_published
+
+    benchmark.pedantic(churn, rounds=1, iterations=1)
+
+    emit(
+        "Micro-benchmark — route-plan cache under subscription churn",
+        f"churn rounds:        {churn_rounds} (join + broadcast + leave each)\n"
+        f"route plan cache:    {broker.route_cache_hits} hits / "
+        f"{broker.route_cache_misses} misses",
+    )
+
+    # One miss builds the hot plan; every subsequent broadcast hits it even
+    # though a subscription changed between any two publishes.  Full-cache
+    # clearing would instead produce ~churn_rounds misses.
+    assert broker.route_cache_misses <= 2
+    assert broker.route_cache_hits >= churn_rounds - 2

@@ -11,9 +11,18 @@ Exposes the experiment harness without writing any Python::
     python -m repro scenario run heavy-churn --seed 7
     python -m repro scenario sweep --seeds 1 2 3
     python -m repro scenario grid --workers 4 --report out/   # parameter grid, parallel
+    python -m repro scenario grid --resume       # restart an interrupted grid from the store
     python -m repro scenario schema              # generated spec field reference
+    python -m repro scenario store ls            # content-addressed results store
+    python -m repro scenario store show <hash>
+    python -m repro scenario store gc --older-than-days 30
+    python -m repro scenario serve --port 8765   # JSON API + grid-heatmap dashboard
 
 All commands print the same plain-text tables the benchmark harness emits.
+Scenario runs and grids consult the results store (``.repro/results.sqlite``
+by default, ``--store``/``REPRO_STORE`` to relocate, ``--no-store`` to
+disable) before executing: a previously stored ``(spec, seed)`` is returned
+from the store with a byte-identical signature instead of being re-run.
 """
 
 from __future__ import annotations
@@ -29,9 +38,12 @@ from repro.experiments.fig8_delay import Fig8Config, run_fig8
 from repro.experiments.report import format_series, format_table
 from repro.runtime.experiment import ExperimentConfig, FLExperiment
 from repro.scenarios import (
+    ResultsStore,
+    ResultsStoreError,
     ScenarioRunner,
     ScenarioSpec,
     SweepSpec,
+    default_store_path,
     grid_names,
     grid_summaries,
     scenario_names,
@@ -97,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
 
+    def add_store_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="results-store sqlite file (default: $REPRO_STORE or .repro/results.sqlite)",
+        )
+        command.add_argument(
+            "--no-store", action="store_true",
+            help="execute without consulting or writing the results store",
+        )
+
     scenario_sub.add_parser("list", help="list the named scenario registry")
 
     scenario_run = scenario_sub.add_parser(
@@ -113,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--seed", type=int, default=None, help="override the spec's seed"
     )
+    add_store_options(scenario_run)
 
     scenario_sweep = scenario_sub.add_parser(
         "sweep", help="run a suite of named scenarios across seeds (one summary row each)"
@@ -125,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, nargs="+", default=None,
         help="seeds to sweep (default: each spec's own seed)",
     )
+    add_store_options(scenario_sweep)
 
     scenario_grid = scenario_sub.add_parser(
         "grid",
@@ -151,6 +175,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_grids",
         help="list the named grid registry and exit",
     )
+    scenario_grid.add_argument(
+        "--resume", action="store_true",
+        help="restart an interrupted grid: stored cells are reused, only "
+             "missing cells execute (requires the results store)",
+    )
+    add_store_options(scenario_grid)
+
+    scenario_store = scenario_sub.add_parser(
+        "store", help="inspect and maintain the content-addressed results store"
+    )
+    store_sub = scenario_store.add_subparsers(dest="store_command", required=True)
+
+    store_ls = store_sub.add_parser("ls", help="list stored runs and recorded grids")
+    store_ls.add_argument(
+        "--scenario", default=None, help="only runs of this scenario name"
+    )
+    add_store_options(store_ls)
+
+    store_show = store_sub.add_parser(
+        "show", help="show one stored run (hash prefix + --seed) or grid (hash/name)"
+    )
+    store_show.add_argument("prefix", help="spec-hash prefix, sweep-hash prefix, or grid name")
+    store_show.add_argument(
+        "--seed", type=int, default=None,
+        help="look up a stored run at this seed (omit to look up a grid)",
+    )
+    add_store_options(store_show)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="delete stored runs (and grids left unresolvable) by age/scenario"
+    )
+    store_gc.add_argument(
+        "--older-than-days", type=float, default=None, metavar="DAYS",
+        help="delete runs not used in the last DAYS days",
+    )
+    store_gc.add_argument("--scenario", default=None, help="delete runs of this scenario name")
+    store_gc.add_argument("--all", action="store_true", dest="delete_all", help="empty the store")
+    store_gc.add_argument(
+        "--no-vacuum", action="store_true", help="skip the sqlite VACUUM after deleting"
+    )
+    add_store_options(store_gc)
+
+    scenario_serve = scenario_sub.add_parser(
+        "serve", help="serve stored runs/grids over HTTP (JSON API + heatmap dashboard)"
+    )
+    scenario_serve.add_argument("--host", default="127.0.0.1")
+    scenario_serve.add_argument("--port", type=int, default=8765)
+    scenario_serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+    add_store_options(scenario_serve)
 
     scenario_schema = scenario_sub.add_parser(
         "schema",
@@ -231,6 +306,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_path(args: argparse.Namespace) -> Optional[str]:
+    """The results-store path the command should use (None = store disabled)."""
+    if getattr(args, "no_store", False):
+        return None
+    return args.store if args.store is not None else default_store_path()
+
+
+def _make_runner(args: argparse.Namespace) -> ScenarioRunner:
+    """A runner wired to the selected results store (owned by the runner)."""
+    return ScenarioRunner(store=_store_path(args))
+
+
+def _print_store_status(runner: ScenarioRunner, result) -> None:
+    """One stderr line on cache behaviour (stderr keeps stdout byte-stable)."""
+    if runner.store is None:
+        return
+    if hasattr(result, "cached_cells"):
+        print(
+            f"store: {result.cached_cells} cached, {result.executed_cells} executed "
+            f"({runner.store.path})",
+            file=sys.stderr,
+        )
+    else:
+        status = "hit" if result.from_store else "miss (stored)"
+        print(f"store: {status} ({runner.store.path})", file=sys.stderr)
+
+
 def _cmd_scenario_grid(args: argparse.Namespace) -> int:
     if args.list_grids:
         print("Named grids (python -m repro scenario grid <name>):\n")
@@ -248,8 +350,16 @@ def _cmd_scenario_grid(args: argparse.Namespace) -> int:
             return 2
         grid = args.name
 
-    runner = ScenarioRunner()
-    result = runner.run_grid(grid, workers=args.workers)
+    if args.resume and _store_path(args) is None:
+        print("--resume needs the results store (drop --no-store)", file=sys.stderr)
+        return 2
+
+    runner = _make_runner(args)
+    try:
+        result = runner.run_grid(grid, workers=args.workers)
+        _print_store_status(runner, result)
+    finally:
+        runner.close()
     sweep = result.sweep
     print(
         f"Grid: {sweep.name} — {len(result.cells)} cell(s) over "
@@ -293,6 +403,94 @@ def _cmd_scenario_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace) -> Optional[ResultsStore]:
+    """Open the selected store for the maintenance verbs (None = disabled)."""
+    path = _store_path(args)
+    if path is None:
+        print("this command needs the results store (drop --no-store)", file=sys.stderr)
+        return None
+    return ResultsStore(path)
+
+
+def _cmd_scenario_store(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        if args.store_command == "ls":
+            stats = store.stats()
+            runs = store.runs(scenario=args.scenario)
+            print(
+                f"Results store {stats['path']} — {stats['runs']} run(s), "
+                f"{stats['grids']} grid(s), {stats['total_hits']} hit(s), "
+                f"{stats['size_bytes'] / 1024:.1f} KiB\n"
+            )
+            print(format_table([run.row() for run in runs], precision=4)
+                  if runs else "(no stored runs)")
+            grids = store.grids()
+            print()
+            print(format_table([grid.row() for grid in grids], precision=4)
+                  if grids else "(no recorded grids)")
+            return 0
+        if args.store_command == "show":
+            if args.seed is not None:
+                run = store.resolve_run(args.prefix, seed=args.seed)
+                document = {
+                    "spec_hash": run.spec_hash,
+                    "seed": run.seed,
+                    "scenario": run.scenario,
+                    "signature": run.signature,
+                    "spec": store.run_spec(run.spec_hash, run.seed),
+                    "payload": run.payload,
+                }
+            else:
+                grid = store.resolve_grid(args.prefix)
+                document = {
+                    "sweep_hash": grid.sweep_hash,
+                    "name": grid.name,
+                    "axes": grid.axes,
+                    "cells": grid.cells,
+                }
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        # gc
+        removed = store.gc(
+            older_than_s=(
+                args.older_than_days * 86400.0
+                if args.older_than_days is not None else None
+            ),
+            scenario=args.scenario,
+            delete_all=args.delete_all,
+            vacuum=not args.no_vacuum,
+        )
+        print(f"gc: removed {removed['runs']} run(s), {removed['grids']} grid(s)")
+        return 0
+    except ResultsStoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+
+
+def _cmd_scenario_serve(args: argparse.Namespace) -> int:
+    from repro.scenarios.serve import serve_forever
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        stats = store.stats()
+        print(
+            f"serving {stats['runs']} run(s) / {stats['grids']} grid(s) from "
+            f"{stats['path']} on http://{args.host}:{args.port}/ (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        serve_forever(store, host=args.host, port=args.port, verbose=args.verbose)
+        return 0
+    finally:
+        store.close()
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.scenario_command == "list":
         print("Named scenarios (python -m repro scenario run <name>):\n")
@@ -302,43 +500,51 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return _cmd_scenario_grid(args)
     if args.scenario_command == "schema":
         return _cmd_scenario_schema(args)
+    if args.scenario_command == "store":
+        return _cmd_scenario_store(args)
+    if args.scenario_command == "serve":
+        return _cmd_scenario_serve(args)
 
-    runner = ScenarioRunner()
-    if args.scenario_command == "run":
-        if args.spec is not None:
-            with open(args.spec, "r", encoding="utf-8") as handle:
-                spec = ScenarioSpec.from_dict(json.load(handle))
-        elif args.name is not None:
-            if args.name not in scenario_names():
-                print(
-                    f"unknown scenario {args.name!r}; "
-                    f"available: {', '.join(scenario_names())}",
-                    file=sys.stderr,
-                )
+    runner = _make_runner(args)
+    try:
+        if args.scenario_command == "run":
+            if args.spec is not None:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    spec = ScenarioSpec.from_dict(json.load(handle))
+            elif args.name is not None:
+                if args.name not in scenario_names():
+                    print(
+                        f"unknown scenario {args.name!r}; "
+                        f"available: {', '.join(scenario_names())}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                spec = args.name
+            else:
+                print("scenario run needs a name or --spec FILE", file=sys.stderr)
                 return 2
-            spec = args.name
-        else:
-            print("scenario run needs a name or --spec FILE", file=sys.stderr)
-            return 2
-        result = runner.run(spec, seed=args.seed)
-        print(f"Scenario: {result.spec.name} (seed {result.seed}) — "
-              f"{result.spec.description}\n")
-        print(ScenarioRunner.format_rounds(result))
-        print()
-        print(ScenarioRunner.format_summary([result]))
-        return 0
+            result = runner.run(spec, seed=args.seed)
+            _print_store_status(runner, result)
+            print(f"Scenario: {result.spec.name} (seed {result.seed}) — "
+                  f"{result.spec.description}\n")
+            print(ScenarioRunner.format_rounds(result))
+            print()
+            print(ScenarioRunner.format_summary([result]))
+            return 0
 
-    # sweep
-    names = args.names or scenario_names()
-    unknown = [n for n in names if n not in scenario_names()]
-    if unknown:
-        print(f"unknown scenario(s): {', '.join(unknown)}; "
-              f"available: {', '.join(scenario_names())}", file=sys.stderr)
-        return 2
-    results = runner.run_suite(names, seeds=args.seeds)
-    print(f"Scenario sweep: {len(results)} run(s)\n")
-    print(ScenarioRunner.format_summary(results))
-    return 0
+        # sweep
+        names = args.names or scenario_names()
+        unknown = [n for n in names if n not in scenario_names()]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(scenario_names())}", file=sys.stderr)
+            return 2
+        results = runner.run_suite(names, seeds=args.seeds)
+        print(f"Scenario sweep: {len(results)} run(s)\n")
+        print(ScenarioRunner.format_summary(results))
+        return 0
+    finally:
+        runner.close()
 
 
 _COMMANDS = {

@@ -19,6 +19,8 @@ from __future__ import annotations
 import csv
 import io
 import os
+import shutil
+import tempfile
 from statistics import mean, pstdev
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -257,8 +259,14 @@ def write_grid_report(cells: Sequence[object], out_dir: str) -> Dict[str, str]:
     :func:`grid_seed_aggregate_rows`).  Output is byte-identical for
     byte-identical cell results, regardless of how many workers produced
     them.
+
+    The bundle appears atomically: every file is written into a staging
+    directory next to ``out_dir`` which is renamed into place only once the
+    bundle is complete, so a crash or Ctrl-C mid-write can never leave a
+    partial report dir that downstream tooling reads as a finished one.  A
+    pre-existing ``out_dir`` is replaced as a whole (stale files from an
+    earlier bundle do not survive into the new one).
     """
-    os.makedirs(out_dir, exist_ok=True)
     summary = grid_summary_rows(cells)
     comparison = messaging_vs_analytic_rows(cells)
     signatures = "".join(f"{cell.index:03d}  {cell.signature}\n" for cell in cells)
@@ -273,10 +281,31 @@ def write_grid_report(cells: Sequence[object], out_dir: str) -> Dict[str, str]:
     if seed_aggregate:
         outputs["seed_aggregate.csv"] = rows_to_csv(seed_aggregate)
         outputs["seed_aggregate.md"] = rows_to_markdown(seed_aggregate) + "\n"
-    paths: Dict[str, str] = {}
-    for name, content in outputs.items():
-        path = os.path.join(out_dir, name)
-        with open(path, "w", encoding="utf-8", newline="") as handle:
-            handle.write(content)
-        paths[name] = path
-    return paths
+
+    out_dir = os.path.abspath(out_dir)
+    parent = os.path.dirname(out_dir)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(prefix=f".{os.path.basename(out_dir)}.tmp-", dir=parent or ".")
+    try:
+        for name, content in outputs.items():
+            with open(os.path.join(staging, name), "w", encoding="utf-8", newline="") as handle:
+                handle.write(content)
+        # os.rename cannot replace a non-empty directory, so move an existing
+        # bundle aside first; it is only deleted after the swap succeeded.
+        backup: Optional[str] = None
+        if os.path.exists(out_dir):
+            backup = tempfile.mkdtemp(prefix=f".{os.path.basename(out_dir)}.old-", dir=parent or ".")
+            os.rename(out_dir, os.path.join(backup, "bundle"))
+        try:
+            os.rename(staging, out_dir)
+        except OSError:
+            if backup is not None:
+                os.rename(os.path.join(backup, "bundle"), out_dir)
+            raise
+        if backup is not None:
+            shutil.rmtree(backup, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return {name: os.path.join(out_dir, name) for name in outputs}

@@ -31,6 +31,14 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import CellResult, GridResult, ScenarioResult, ScenarioRunner
 from repro.scenarios.schema import schema_markdown
+from repro.scenarios.store import (
+    ResultsStore,
+    ResultsStoreError,
+    canonical_json,
+    default_store_path,
+    spec_hash,
+    sweep_hash,
+)
 from repro.scenarios.spec import (
     FAULT_KINDS,
     FaultSpec,
@@ -62,6 +70,8 @@ __all__ = [
     "GridCell",
     "GridResult",
     "NetworkSpec",
+    "ResultsStore",
+    "ResultsStoreError",
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
@@ -70,7 +80,9 @@ __all__ = [
     "TopologySpec",
     "TrainingSpec",
     "build_experiment_config",
+    "canonical_json",
     "compile_scenario",
+    "default_store_path",
     "get_grid",
     "get_scenario",
     "grid_names",
@@ -80,4 +92,6 @@ __all__ = [
     "scenario_names",
     "scenario_summaries",
     "schema_markdown",
+    "spec_hash",
+    "sweep_hash",
 ]

@@ -17,15 +17,23 @@ the scenario tests and the CLI acceptance check pin.
 simulations, so they fan out over a ``multiprocessing`` pool, and because
 each cell is deterministic and results are ordered by cell index, a
 1-worker and an N-worker run of the same grid are byte-identical.
+
+Both entry points optionally consult a content-addressed
+:class:`~repro.scenarios.store.ResultsStore` *before* executing: a stored
+``(spec_hash, seed)`` payload is returned as-is (byte-identical signature,
+identical metric rows), so re-running a grid after editing one axis value
+re-executes only the changed cells, and an interrupted sweep resumes from
+the cells that completed before the kill.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,9 +48,35 @@ from repro.runtime.experiment import FLExperiment, RoundResult
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import ResultsStore, spec_hash, sweep_hash
 from repro.scenarios.sweep import SweepSpec, get_grid
 
 __all__ = ["CellResult", "GridResult", "ScenarioResult", "ScenarioRunner"]
+
+#: Version stamp inside every stored payload, independent of the sqlite
+#: schema: bump when the payload key set changes incompatibly.
+PAYLOAD_SCHEMA = 1
+
+
+def _plain(value: object) -> object:
+    """Recursively coerce a metric tree to JSON-native types.
+
+    Metric rows occasionally carry numpy scalars (``np.float64`` *is* a
+    ``float`` but ``np.int64`` is not an ``int``); storing plain natives
+    keeps payloads ``json``-serializable and makes the stored→rendered text
+    byte-identical to the fresh→rendered text.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
 
 
 @dataclass
@@ -70,39 +104,72 @@ class ScenarioResult:
     #: The executed experiment, for post-hoc inspection (fleet, event log,
     #: resource high-water marks).  Excluded from equality/repr noise.
     experiment: Optional[FLExperiment] = field(default=None, repr=False, compare=False)
+    #: When the result came out of a :class:`ResultsStore` instead of an
+    #: execution, this holds the stored plain-data payload and the
+    #: rounds-derived accessors below read from it (``rounds`` stays empty —
+    #: a cached result has no :class:`RoundResult` objects to rebuild).
+    stored_payload: Optional[Dict[str, object]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def from_store(self) -> bool:
+        """True when this result was served from the results store."""
+        return self.stored_payload is not None
+
+    @property
+    def rounds_completed(self) -> int:
+        """Completed round count (survives the store round trip)."""
+        if self.stored_payload is not None:
+            return int(self.stored_payload["rounds_completed"])
+        return len(self.rounds)
 
     @property
     def final_accuracy(self) -> float:
         """Test accuracy after the last completed round (0.0 if none ran)."""
+        if self.stored_payload is not None:
+            return float(self.stored_payload["final_accuracy"])
         return self.rounds[-1].test_accuracy if self.rounds else 0.0
 
     @property
     def total_delay_s(self) -> float:
         """Summed analytic round delays."""
+        if self.stored_payload is not None:
+            return float(self.stored_payload["total_delay_s"])
         return float(sum(r.delay.total_s for r in self.rounds))
 
     @property
     def total_messaging_s(self) -> float:
         """Summed observed messaging makespans (the event-scheduler view)."""
+        if self.stored_payload is not None:
+            return float(self.stored_payload["total_messaging_s"])
         return float(sum(r.delay.messaging_s for r in self.rounds))
 
     @property
     def total_planning_s(self) -> float:
         """Summed per-round time spent in the PLANNING phase."""
+        if self.stored_payload is not None:
+            return float(self.stored_payload["total_planning_s"])
         return float(sum(r.planning_s for r in self.rounds))
 
     @property
     def total_collecting_s(self) -> float:
         """Summed per-round time spent in the COLLECTING phase."""
+        if self.stored_payload is not None:
+            return float(self.stored_payload["total_collecting_s"])
         return float(sum(r.collecting_s for r in self.rounds))
 
     @property
     def total_aggregating_s(self) -> float:
         """Summed per-round time spent in the AGGREGATING phase."""
+        if self.stored_payload is not None:
+            return float(self.stored_payload["total_aggregating_s"])
         return float(sum(r.aggregating_s for r in self.rounds))
 
     def round_rows(self) -> List[Dict[str, object]]:
         """Per-round metric rows (rendered by ``format_table``)."""
+        if self.stored_payload is not None:
+            return [dict(row) for row in self.stored_payload["round_rows"]]
         rows: List[Dict[str, object]] = []
         for result in self.rounds:
             rows.append(
@@ -128,7 +195,7 @@ class ScenarioResult:
         return {
             "scenario": self.spec.name,
             "seed": self.seed,
-            "rounds": len(self.rounds),
+            "rounds": self.rounds_completed,
             "final_accuracy": self.final_accuracy,
             "total_delay_s": self.total_delay_s,
             "sim_time_s": self.final_sim_time_s,
@@ -140,6 +207,64 @@ class ScenarioResult:
             "faults": self.faults_started,
             "signature": self.signature[:12],
         }
+
+    # ------------------------------------------------------- store payloads
+
+    def to_payload(self) -> Dict[str, object]:
+        """Condense to the plain-data payload the results store persists.
+
+        The payload carries everything a cached result must reproduce —
+        metric scalars, per-round rows and the signature — as JSON-native
+        values, so storing and re-loading it renders byte-identically to the
+        fresh result.
+        """
+        return _plain(
+            {
+                "payload_schema": PAYLOAD_SCHEMA,
+                "scenario": self.spec.name,
+                "seed": int(self.seed),
+                "signature": self.signature,
+                "rounds_completed": self.rounds_completed,
+                "final_accuracy": self.final_accuracy,
+                "total_delay_s": self.total_delay_s,
+                "total_messaging_s": self.total_messaging_s,
+                "total_planning_s": self.total_planning_s,
+                "total_collecting_s": self.total_collecting_s,
+                "total_aggregating_s": self.total_aggregating_s,
+                "sim_time_s": float(self.final_sim_time_s),
+                "messages": int(self.messages_processed),
+                "traffic_bytes": int(self.total_traffic_bytes),
+                "deliveries_dropped": int(self.deliveries_dropped),
+                "clients_dropped": int(self.clients_dropped),
+                "clients_admitted": int(self.clients_admitted),
+                "stragglers_cut": int(self.stragglers_cut),
+                "faults_started": int(self.faults_started),
+                "round_rows": self.round_rows(),
+            }
+        )
+
+    @classmethod
+    def from_payload(
+        cls, spec: ScenarioSpec, payload: Mapping[str, object]
+    ) -> "ScenarioResult":
+        """Rebuild a (store-served) result from its plain-data payload."""
+        payload = dict(payload)
+        return cls(
+            spec=spec,
+            seed=int(payload["seed"]),
+            rounds=[],
+            signature=str(payload["signature"]),
+            clients_dropped=int(payload["clients_dropped"]),
+            clients_admitted=int(payload["clients_admitted"]),
+            stragglers_cut=int(payload["stragglers_cut"]),
+            faults_started=int(payload["faults_started"]),
+            messages_processed=int(payload["messages"]),
+            deliveries_dropped=int(payload.get("deliveries_dropped", 0)),
+            total_traffic_bytes=int(payload["traffic_bytes"]),
+            final_sim_time_s=float(payload["sim_time_s"]),
+            experiment=None,
+            stored_payload=payload,
+        )
 
 
 @dataclass
@@ -201,15 +326,89 @@ class CellResult:
             round_rows=result.round_rows(),
         )
 
+    # ------------------------------------------------------- store payloads
+
+    def to_payload(self) -> Dict[str, object]:
+        """The store payload (same shape :meth:`ScenarioResult.to_payload` emits).
+
+        ``index`` and ``coordinates`` are grid-relative metadata, not
+        content, so they stay out of the payload — the same ``(spec_hash,
+        seed)`` entry serves every grid (and every single run) that lands on
+        this spec.
+        """
+        return _plain(
+            {
+                "payload_schema": PAYLOAD_SCHEMA,
+                "scenario": self.scenario,
+                "seed": int(self.seed),
+                "signature": self.signature,
+                "rounds_completed": int(self.rounds_completed),
+                "final_accuracy": float(self.final_accuracy),
+                "total_delay_s": float(self.total_s),
+                "total_messaging_s": float(self.messaging_s),
+                "total_planning_s": float(self.planning_s),
+                "total_collecting_s": float(self.collecting_s),
+                "total_aggregating_s": float(self.aggregating_s),
+                "sim_time_s": float(self.sim_time_s),
+                "messages": int(self.messages),
+                "traffic_bytes": int(self.traffic_bytes),
+                "clients_dropped": int(self.clients_dropped),
+                "clients_admitted": int(self.clients_admitted),
+                "stragglers_cut": int(self.stragglers_cut),
+                "faults_started": int(self.faults_started),
+                "round_rows": self.round_rows,
+            }
+        )
+
+    @classmethod
+    def from_payload(
+        cls,
+        index: int,
+        coordinates: Dict[str, object],
+        payload: Mapping[str, object],
+    ) -> "CellResult":
+        """Rebuild a grid cell from a stored payload plus its grid position."""
+        return cls(
+            index=index,
+            coordinates=dict(coordinates),
+            scenario=str(payload["scenario"]),
+            seed=int(payload["seed"]),
+            signature=str(payload["signature"]),
+            rounds_completed=int(payload["rounds_completed"]),
+            final_accuracy=float(payload["final_accuracy"]),
+            total_s=float(payload["total_delay_s"]),
+            messaging_s=float(payload["total_messaging_s"]),
+            planning_s=float(payload["total_planning_s"]),
+            collecting_s=float(payload["total_collecting_s"]),
+            aggregating_s=float(payload["total_aggregating_s"]),
+            sim_time_s=float(payload["sim_time_s"]),
+            messages=int(payload["messages"]),
+            traffic_bytes=int(payload["traffic_bytes"]),
+            clients_dropped=int(payload["clients_dropped"]),
+            clients_admitted=int(payload["clients_admitted"]),
+            stragglers_cut=int(payload["stragglers_cut"]),
+            faults_started=int(payload["faults_started"]),
+            round_rows=[dict(row) for row in payload["round_rows"]],
+        )
+
 
 @dataclass
 class GridResult:
-    """Outcome of one parameter-grid run: ordered cells plus run metadata."""
+    """Outcome of one parameter-grid run: ordered cells plus run metadata.
+
+    ``cached_cells``/``executed_cells`` split the grid between store hits
+    and actual executions (``used_store`` says whether a store was consulted
+    at all) — re-running an unchanged grid against a warm store reports
+    ``executed_cells == 0``.
+    """
 
     sweep: SweepSpec
     cells: List[CellResult]
     workers: int
     elapsed_s: float = 0.0
+    used_store: bool = False
+    cached_cells: int = 0
+    executed_cells: int = 0
 
     def signatures(self) -> List[str]:
         """Per-cell SHA-256 signatures, in cell-index order."""
@@ -256,10 +455,16 @@ class ScenarioRunner:
     context manager) to release the workers early; they are daemonic, so an
     exiting interpreter reaps them regardless.
 
+    ``store`` attaches a content-addressed results cache — a
+    :class:`~repro.scenarios.store.ResultsStore` instance or a database
+    path.  With a store attached, :meth:`run` and :meth:`run_grid` consult
+    it before executing and persist every fresh result into it; the
+    ``store_hits``/``store_misses`` counters track the split.
+
     Example
     -------
     >>> from repro.scenarios import ScenarioRunner
-    >>> runner = ScenarioRunner()
+    >>> runner = ScenarioRunner(store="results.sqlite")  # doctest: +SKIP
     >>> result = runner.run("baseline", seed=7)       # doctest: +SKIP
     >>> result.seed, result.signature == runner.run("baseline", seed=7).signature
     (7, True)                                          # doctest: +SKIP
@@ -268,9 +473,23 @@ class ScenarioRunner:
     True                                               # doctest: +SKIP
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, store: Union[ResultsStore, str, os.PathLike, None] = None
+    ) -> None:
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_workers = 0
+        self._owns_store = isinstance(store, (str, os.PathLike))
+        self._store: Optional[ResultsStore] = (
+            ResultsStore(store) if isinstance(store, (str, os.PathLike)) else store
+        )
+        #: Results served from / missed in the attached store (cumulative).
+        self.store_hits = 0
+        self.store_misses = 0
+
+    @property
+    def store(self) -> Optional[ResultsStore]:
+        """The attached results store, if any."""
+        return self._store
 
     # ----------------------------------------------------------- worker pool
 
@@ -278,20 +497,39 @@ class ScenarioRunner:
         """The persistent pool, (re)built when the worker count changes."""
         if self._pool is not None and self._pool_workers == workers:
             return self._pool
-        self.close()
+        self._shutdown_pool(graceful=True)
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
         self._pool = context.Pool(processes=workers)
         self._pool_workers = workers
         return self._pool
 
-    def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
-        if self._pool is not None:
+    def _shutdown_pool(self, graceful: bool) -> None:
+        """Tear the pool down: gracefully (finish in-flight cells, then join)
+        or hard (``terminate`` — error paths and ``__del__`` only, where
+        in-flight work is already lost or the interpreter is going away)."""
+        if self._pool is None:
+            return
+        if graceful:
+            self._pool.close()
+        else:
             self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._pool_workers = 0
+        self._pool.join()
+        self._pool = None
+        self._pool_workers = 0
+
+    def close(self) -> None:
+        """Gracefully shut down the worker pool and any owned store (idempotent).
+
+        Uses ``close()`` + ``join()`` so in-flight grid cells run to
+        completion (and, with a store attached, get persisted) instead of
+        being killed mid-simulation; hard ``terminate()`` is reserved for
+        ``__del__`` and error paths.
+        """
+        self._shutdown_pool(graceful=True)
+        if self._owns_store and self._store is not None:
+            self._store.close()
+            self._store = None
 
     def __enter__(self) -> "ScenarioRunner":
         return self
@@ -301,12 +539,15 @@ class ScenarioRunner:
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
-            self.close()
+            self._shutdown_pool(graceful=False)
         except Exception:
             pass
 
     def run(
-        self, scenario: Union[str, ScenarioSpec], seed: Optional[int] = None
+        self,
+        scenario: Union[str, ScenarioSpec],
+        seed: Optional[int] = None,
+        use_store: bool = True,
     ) -> ScenarioResult:
         """Compile and execute ``scenario`` (a spec or a registry name).
 
@@ -316,6 +557,11 @@ class ScenarioRunner:
         signature all reflect the effective seed.  The same (spec, effective
         seed) pair always yields an identical delivery order, final model
         state, and therefore signature.
+
+        With a store attached (and ``use_store`` left on), the run is first
+        looked up by its content address; a hit skips execution entirely and
+        returns the stored payload — same signature byte for byte, same
+        metric rows, ``result.from_store`` set, ``result.experiment`` None.
         """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         if seed is not None:
@@ -323,6 +569,14 @@ class ScenarioRunner:
         # Single source of truth for every seed-bearing artefact below: the
         # spec the experiment was actually compiled from.
         effective_seed = spec.seed
+        content_key: Optional[str] = None
+        if self._store is not None and use_store:
+            content_key = spec_hash(spec)
+            stored = self._store.get_run(content_key, effective_seed)
+            if stored is not None:
+                self.store_hits += 1
+                return ScenarioResult.from_payload(spec, stored.payload)
+            self.store_misses += 1
         compiled = compile_scenario(spec)
         experiment = compiled.experiment
 
@@ -350,6 +604,10 @@ class ScenarioRunner:
             final_sim_time_s=float(experiment.clock.now()),
             experiment=experiment,
         )
+        if content_key is not None:
+            self._store.put_run(
+                content_key, effective_seed, spec, result.signature, result.to_payload()
+            )
         return result
 
     def run_suite(
@@ -377,6 +635,7 @@ class ScenarioRunner:
         self,
         grid: Union[str, SweepSpec],
         workers: int = 1,
+        use_store: bool = True,
     ) -> GridResult:
         """Execute every cell of a parameter grid; returns ordered results.
 
@@ -385,31 +644,110 @@ class ScenarioRunner:
         deterministic) cells fan out over the runner's persistent
         ``multiprocessing`` pool (kept alive across ``run_grid`` calls so a
         many-grid session does not re-import the stack per grid per worker);
-        cells are dispatched and results collected in cell-index order, and
-        each cell's signature depends only on its spec, so a 1-worker and an
-        N-worker run of the same grid produce byte-identical reports — the
-        grid determinism tests and the CI smoke pin exactly that.
+        each cell's signature depends only on its spec, and results are
+        assembled in cell-index order regardless of completion order, so a
+        1-worker and an N-worker run of the same grid produce byte-identical
+        reports — the grid determinism tests and the CI smoke pin exactly
+        that.
+
+        With a store attached, every cell is first looked up by content
+        address — only the misses execute (editing one axis value of a
+        12-cell grid re-runs only the changed cells) — and every executed
+        cell is persisted *as it completes*, so a sweep killed mid-grid
+        resumes from its stored cells on the next invocation
+        (``scenario grid --resume``).
         """
         sweep = get_grid(grid) if isinstance(grid, str) else grid
         cells = sweep.cells()
         workers = max(1, int(workers))
-        payloads = [
-            (cell.index, dict(cell.coordinates), cell.spec.as_dict()) for cell in cells
-        ]
+        store = self._store if use_store else None
         start = time.perf_counter()
-        if workers == 1 or len(payloads) <= 1:
-            results = [_run_grid_cell(payload) for payload in payloads]
+
+        cached: List[CellResult] = []
+        pending: List = cells
+        hashes: Dict[int, str] = {}
+        if store is not None:
+            pending = []
+            for cell in cells:
+                hashes[cell.index] = spec_hash(cell.spec)
+                stored = store.get_run(hashes[cell.index], cell.spec.seed)
+                if stored is not None:
+                    cached.append(
+                        CellResult.from_payload(
+                            cell.index, dict(cell.coordinates), stored.payload
+                        )
+                    )
+                else:
+                    pending.append(cell)
+            self.store_hits += len(cached)
+            self.store_misses += len(pending)
+
+        spec_by_index = {cell.index: cell.spec for cell in pending}
+        payloads = [
+            (cell.index, dict(cell.coordinates), cell.spec.as_dict()) for cell in pending
+        ]
+        executed: List[CellResult] = []
+
+        def record(result: CellResult) -> None:
+            executed.append(result)
+            if store is not None:
+                # Commit each cell the moment it lands: an interrupted sweep
+                # keeps everything that finished (the --resume contract).
+                store.put_run(
+                    hashes[result.index],
+                    result.seed,
+                    spec_by_index[result.index],
+                    result.signature,
+                    result.to_payload(),
+                )
+
+        if not payloads:
+            pass
+        elif workers == 1 or len(payloads) <= 1:
+            for payload in payloads:
+                record(_run_grid_cell(payload))
         else:
             # Never spawn more workers than there are cells — idle processes
             # still pay the full interpreter + import cost under spawn.
             pool = self._worker_pool(min(workers, len(payloads)))
-            results = pool.map(_run_grid_cell, payloads, chunksize=1)
+            try:
+                # Unordered: results are persisted as they arrive and sorted
+                # below, so completion order never reaches the caller.
+                for result in pool.imap_unordered(_run_grid_cell, payloads, chunksize=1):
+                    record(result)
+            except BaseException:
+                # In-flight cells are unrecoverable here — hard-stop the pool
+                # (the graceful close()+join() path would block on them).
+                self._shutdown_pool(graceful=False)
+                raise
         elapsed = time.perf_counter() - start
-        # pool.map already preserves payload order; the sort is a cheap
-        # belt-and-braces guarantee that the determinism contract never
-        # depends on pool implementation details.
-        results.sort(key=lambda cell: cell.index)
-        return GridResult(sweep=sweep, cells=results, workers=workers, elapsed_s=elapsed)
+
+        results = sorted(cached + executed, key=lambda cell: cell.index)
+        if store is not None:
+            store.record_grid(
+                sweep_hash(sweep),
+                sweep.name,
+                sweep.axis_paths,
+                [
+                    {
+                        "index": cell.index,
+                        "coordinates": cell.coordinates,
+                        "spec_hash": hashes[cell.index],
+                        "seed": cell.seed,
+                        "signature": cell.signature,
+                    }
+                    for cell in results
+                ],
+            )
+        return GridResult(
+            sweep=sweep,
+            cells=results,
+            workers=workers,
+            elapsed_s=elapsed,
+            used_store=store is not None,
+            cached_cells=len(cached),
+            executed_cells=len(executed),
+        )
 
     # -------------------------------------------------------------- rendering
 

@@ -399,6 +399,55 @@ class TestRoutePlanCache:
         clients[2].disconnect()
         assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 2
 
+    def test_subscribe_keeps_unrelated_plans_cached(self):
+        # A new subscription only evicts the plans its filter matches: the
+        # hot topic's plan must survive an unrelated client joining (the
+        # flash-crowd mid-round-admission case).
+        broker, _clients, pub = self._fleet()
+        pub.publish("all/cmd", b"x")
+        hits_before = broker.route_cache_hits
+        misses_before = broker.route_cache_misses
+        late = MQTTClient("late")
+        late.connect(broker)
+        late.subscribe("other/topic")
+        pub.publish("all/cmd", b"x")
+        assert broker.route_cache_hits == hits_before + 1
+        assert broker.route_cache_misses == misses_before
+
+    def test_subscribe_evicts_only_matching_plans(self):
+        broker, _clients, pub = self._fleet()
+        pub.publish("all/cmd", b"x")
+        pub.publish("other/topic", b"x")
+        misses_before = broker.route_cache_misses
+        late = MQTTClient("late")
+        late.connect(broker)
+        late.subscribe("all/+")  # matches all/cmd, not other/topic
+        pub.publish("all/cmd", b"x")    # re-miss: plan was evicted
+        pub.publish("other/topic", b"x")  # hit: plan survived
+        assert broker.route_cache_misses == misses_before + 1
+        # ... and the rebuilt plan includes the new subscriber.
+        assert len(broker.publish(MQTTMessage(topic="all/cmd", payload=b"x", sender_id="pub"))) == 4
+
+    def test_unsubscribe_keeps_unrelated_plans_cached(self):
+        broker, clients, pub = self._fleet()
+        clients[0].subscribe("other/topic")
+        pub.publish("all/cmd", b"x")
+        misses_before = broker.route_cache_misses
+        clients[0].unsubscribe("other/topic")
+        pub.publish("all/cmd", b"x")
+        assert broker.route_cache_misses == misses_before
+
+    def test_disconnect_keeps_unrelated_plans_cached(self):
+        broker, clients, pub = self._fleet()
+        solo = MQTTClient("solo")
+        solo.connect(broker)
+        solo.subscribe("solo/only")
+        pub.publish("all/cmd", b"x")
+        misses_before = broker.route_cache_misses
+        solo.disconnect()  # drops solo/only, must not evict all/cmd's plan
+        pub.publish("all/cmd", b"x")
+        assert broker.route_cache_misses == misses_before
+
     def test_plan_keeps_max_qos_per_client_with_overlapping_filters(self):
         broker = MQTTBroker("b")
         sub = MQTTClient("sub")

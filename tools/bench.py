@@ -15,12 +15,16 @@ Usage::
     python tools/bench.py --quick                 # reduced sizes (CI smoke)
     python tools/bench.py --suite                 # also pytest the benchmarks/
     python tools/bench.py --quick --check BENCH_pr5.json [--tolerance 0.2]
-                                                  # fail if deliveries/s regressed
+                                                  # fail on metric regressions
 
-The regression check re-measures scheduler throughput on the current machine
-and fails (exit 1) when it lands more than ``--tolerance`` (default 20%)
-below the committed baseline's ``scheduler_deliveries_per_s``.  See
-``docs/performance.md`` for how to read and regenerate the baseline.
+The regression check gates every metric in ``GATES`` — scheduler routing
+throughput, codec encode/decode MB/s, and the streaming-aggregation reduce
+throughput (``contributions × params / reduce_s``, so quick and full
+workload sizes stay comparable) — each with its own default tolerance;
+``--tolerance`` overrides them all when given.  A gate metric that is
+missing from the baseline (or the fresh document) is a hard error (exit 2),
+never a silent pass.  See ``docs/performance.md`` for how to read and
+regenerate the baseline.
 """
 
 from __future__ import annotations
@@ -43,8 +47,35 @@ if _SRC not in sys.path:
 import numpy as np  # noqa: E402
 
 SCHEMA = "repro-bench/v1"
-#: The metric the CI regression gate compares across runs/machines.
+#: The headline metric (kept as a named constant for the scheduler bench).
 GATE_METRIC = "scheduler_deliveries_per_s"
+
+
+def _aggregation_throughput(metrics: Dict[str, float]) -> float:
+    """Streaming-reduce throughput in parameter-contributions per second.
+
+    ``aggregation_reduce_s`` alone is workload-sized (quick mode reduces
+    8 × 100k, full mode 24 × 1M), so the gate normalizes it by the work
+    done — the reduce is linear in ``contributions × params``.
+    """
+    work = float(metrics["aggregation_contributions"]) * float(metrics["aggregation_params"])
+    return work / max(float(metrics["aggregation_reduce_s"]), 1e-12)
+
+
+#: Regression gates: (reported name, extractor, default tolerance).  Every
+#: gated figure is higher-is-better; tolerances are the allowed fractional
+#: drop below the committed baseline.  They are calibrated for CI's
+#: quick-fresh vs full-baseline comparison: codec decode is zero-copy and
+#: latency-dominated, so its MB/s scales with payload size (quick's 2 MB
+#: payload reads ~5× slower than the 10 MB baseline) — its generous
+#: tolerance still fails on the order-of-magnitude drop that reintroducing
+#: a payload copy causes.
+GATES = (
+    (GATE_METRIC, lambda m: float(m[GATE_METRIC]), 0.20),
+    ("codec_encode_mb_per_s", lambda m: float(m["codec_encode_mb_per_s"]), 0.50),
+    ("codec_decode_mb_per_s", lambda m: float(m["codec_decode_mb_per_s"]), 0.90),
+    ("aggregation_throughput", _aggregation_throughput, 0.60),
+)
 
 SCHEDULER_CLIENTS = 1_200
 SCHEDULER_BROADCASTS = 25
@@ -305,34 +336,56 @@ def run_suite(quick: bool) -> int:
     )
 
 
-def check_regression(baseline_path: str, tolerance: float, fresh_path: str | None = None) -> int:
-    """Fresh scheduler figure vs the committed baseline; 0 = within tolerance.
+def check_regression(
+    baseline_path: str,
+    tolerance: float | None = None,
+    fresh_path: str | None = None,
+) -> int:
+    """Every gated metric vs the committed baseline; 0 = all within tolerance.
 
-    With ``fresh_path`` the fresh figure is read from an already-emitted
+    With ``fresh_path`` the fresh figures are read from an already-emitted
     BENCH json (the CI job gates on the exact artifact it uploads);
-    otherwise the scheduler bench is re-measured best-of-3.
+    otherwise the scheduler bench is re-measured best-of-3 and only that
+    gate runs.  ``tolerance`` overrides every gate's default when given.
+    A gate metric absent from either document is a hard error (exit 2).
     """
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
     if baseline.get("schema") != SCHEMA:
         print(f"unrecognized baseline schema in {baseline_path}", file=sys.stderr)
         return 2
-    reference = float(baseline["metrics"][GATE_METRIC])
     if fresh_path is not None:
         with open(fresh_path, "r", encoding="utf-8") as handle:
             fresh_doc = json.load(handle)
         if fresh_doc.get("schema") != SCHEMA:
             print(f"unrecognized fresh schema in {fresh_path}", file=sys.stderr)
             return 2
-        fresh = float(fresh_doc["metrics"][GATE_METRIC])
+        fresh_metrics = fresh_doc["metrics"]
+        gates = GATES
     else:
-        fresh = bench_scheduler_best()[GATE_METRIC]
-    floor = reference * (1.0 - tolerance)
-    verdict = "OK" if fresh >= floor else "REGRESSION"
-    print(
-        f"{GATE_METRIC}: fresh {fresh:,.0f}/s vs baseline {reference:,.0f}/s "
-        f"(floor {floor:,.0f}/s at {tolerance:.0%} tolerance) -> {verdict}"
-    )
+        fresh_metrics = bench_scheduler_best()
+        gates = tuple(gate for gate in GATES if gate[0] == GATE_METRIC)
+
+    failed = False
+    for name, extract, default_tolerance in gates:
+        gate_tolerance = default_tolerance if tolerance is None else tolerance
+        try:
+            reference = extract(baseline["metrics"])
+        except KeyError as exc:
+            print(f"baseline {baseline_path} is missing gate metric {exc} for {name}", file=sys.stderr)
+            return 2
+        try:
+            fresh = extract(fresh_metrics)
+        except KeyError as exc:
+            print(f"fresh document is missing gate metric {exc} for {name}", file=sys.stderr)
+            return 2
+        floor = reference * (1.0 - gate_tolerance)
+        verdict = "OK" if fresh >= floor else "REGRESSION"
+        failed = failed or fresh < floor
+        print(
+            f"{name}: fresh {fresh:,.0f} vs baseline {reference:,.0f} "
+            f"(floor {floor:,.0f} at {gate_tolerance:.0%} tolerance) -> {verdict}"
+        )
     # Absolute throughput is machine-dependent; surface an environment
     # mismatch so a gate failure on a different class of machine is easy to
     # diagnose (regenerate the baseline with --output on the gating machine,
@@ -346,7 +399,7 @@ def check_regression(baseline_path: str, tolerance: float, fresh_path: str | Non
                 f"{value!r} — absolute numbers may not be comparable",
                 file=sys.stderr,
             )
-    return 0 if fresh >= floor else 1
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -356,7 +409,7 @@ def main(argv=None) -> int:
     parser.add_argument("--suite", action="store_true", help="also run the benchmarks/ pytest suite")
     parser.add_argument("--check", metavar="BASELINE", help="regression-gate against a committed BENCH json")
     parser.add_argument("--fresh", metavar="FRESH", help="with --check: read the fresh figure from this BENCH json instead of re-measuring")
-    parser.add_argument("--tolerance", type=float, default=0.2, help="allowed fractional slowdown for --check (default 0.2)")
+    parser.add_argument("--tolerance", type=float, default=None, help="override every gate's default fractional tolerance for --check (default: per-metric)")
     parser.add_argument("--fanout-probe", nargs=2, metavar=("CLIENTS", "BROADCASTS"), help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
