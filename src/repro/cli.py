@@ -36,6 +36,8 @@ from repro.experiments import ablations
 from repro.experiments.fig7_accuracy import Fig7Config, run_fig7
 from repro.experiments.fig8_delay import Fig8Config, run_fig8
 from repro.experiments.report import format_series, format_table
+from repro.obs import get_logger
+from repro.obs.tools import summarize_trace, trace_summary_rows
 from repro.runtime.experiment import ExperimentConfig, FLExperiment
 from repro.scenarios import (
     ResultsStore,
@@ -135,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--seed", type=int, default=None, help="override the spec's seed"
     )
+    scenario_run.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="write the sim-time flight recorder here (Chrome trace_event JSON "
+             "+ JSONL + metrics snapshot); forces execution (no store hit)",
+    )
     add_store_options(scenario_run)
 
     scenario_sweep = scenario_sub.add_parser(
@@ -179,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="restart an interrupted grid: stored cells are reused, only "
              "missing cells execute (requires the results store)",
+    )
+    scenario_grid.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="write per-cell flight recorder files here (forces every cell "
+             "to execute)",
     )
     add_store_options(scenario_grid)
 
@@ -225,7 +237,22 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
+    scenario_serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="also serve flight-recorder files from DIR under /api/trace",
+    )
     add_store_options(scenario_serve)
+
+    scenario_trace = scenario_sub.add_parser(
+        "trace",
+        help="summarize a flight-recorder file (Chrome trace_event JSON or JSONL)",
+    )
+    scenario_trace.add_argument("file", help="a .trace.json or .trace.jsonl file")
+    scenario_trace.add_argument(
+        "--require-span", action="append", default=[], metavar="NAME",
+        help="exit non-zero unless a complete span named NAME is present "
+             "(repeatable; the CI obs-smoke assertion)",
+    )
 
     scenario_schema = scenario_sub.add_parser(
         "schema",
@@ -318,19 +345,30 @@ def _make_runner(args: argparse.Namespace) -> ScenarioRunner:
     return ScenarioRunner(store=_store_path(args))
 
 
-def _print_store_status(runner: ScenarioRunner, result) -> None:
-    """One stderr line on cache behaviour (stderr keeps stdout byte-stable)."""
+def _log_store_status(runner: ScenarioRunner, result) -> None:
+    """One structured stderr line on cache behaviour.
+
+    Context fields (scenario/grid, seed, workers) are *prefixed* by the
+    ``repro.obs.log`` adapter, so the ``store: …`` message text stays a
+    fixed substring (the CI store-smoke greps it) and stdout stays
+    byte-stable for cached-run comparisons.
+    """
     if runner.store is None:
         return
     if hasattr(result, "cached_cells"):
-        print(
+        log = get_logger(
+            "repro.scenario.grid", grid=result.sweep.name, workers=result.workers
+        )
+        log.info(
             f"store: {result.cached_cells} cached, {result.executed_cells} executed "
-            f"({runner.store.path})",
-            file=sys.stderr,
+            f"({runner.store.path})"
         )
     else:
+        log = get_logger(
+            "repro.scenario.run", scenario=result.spec.name, seed=result.seed
+        )
         status = "hit" if result.from_store else "miss (stored)"
-        print(f"store: {status} ({runner.store.path})", file=sys.stderr)
+        log.info(f"store: {status} ({runner.store.path})")
 
 
 def _cmd_scenario_grid(args: argparse.Namespace) -> int:
@@ -356,8 +394,12 @@ def _cmd_scenario_grid(args: argparse.Namespace) -> int:
 
     runner = _make_runner(args)
     try:
-        result = runner.run_grid(grid, workers=args.workers)
-        _print_store_status(runner, result)
+        result = runner.run_grid(grid, workers=args.workers, trace_dir=args.trace)
+        _log_store_status(runner, result)
+        if args.trace is not None:
+            get_logger("repro.scenario.grid", grid=result.sweep.name).info(
+                f"trace: wrote {len(result.cells)} cell flight recorder(s) to {args.trace}"
+            )
     finally:
         runner.close()
     sweep = result.sweep
@@ -480,15 +522,42 @@ def _cmd_scenario_serve(args: argparse.Namespace) -> int:
         return 2
     try:
         stats = store.stats()
-        print(
+        get_logger("repro.scenario.serve", host=args.host, port=args.port).info(
             f"serving {stats['runs']} run(s) / {stats['grids']} grid(s) from "
-            f"{stats['path']} on http://{args.host}:{args.port}/ (Ctrl-C to stop)",
-            file=sys.stderr,
+            f"{stats['path']} on http://{args.host}:{args.port}/ (Ctrl-C to stop)"
         )
-        serve_forever(store, host=args.host, port=args.port, verbose=args.verbose)
+        serve_forever(
+            store,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            trace_dir=args.trace_dir,
+        )
         return 0
     finally:
         store.close()
+
+
+def _cmd_scenario_trace(args: argparse.Namespace) -> int:
+    try:
+        summary = summarize_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Trace: {args.file} — {summary['events']} event(s), "
+        f"{summary['spans']} span(s), {summary['instants']} instant(s), "
+        f"{summary['anomalies']} anomaly marker(s)\n"
+    )
+    rows = trace_summary_rows(summary)
+    print(format_table(rows, precision=4) if rows else "(no events)")
+    missing = [
+        name for name in args.require_span if name not in summary["span_names"]
+    ]
+    if missing:
+        print(f"missing required span(s): {', '.join(missing)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -504,6 +573,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return _cmd_scenario_store(args)
     if args.scenario_command == "serve":
         return _cmd_scenario_serve(args)
+    if args.scenario_command == "trace":
+        return _cmd_scenario_trace(args)
 
     runner = _make_runner(args)
     try:
@@ -523,8 +594,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             else:
                 print("scenario run needs a name or --spec FILE", file=sys.stderr)
                 return 2
-            result = runner.run(spec, seed=args.seed)
-            _print_store_status(runner, result)
+            result = runner.run(spec, seed=args.seed, trace_dir=args.trace)
+            _log_store_status(runner, result)
+            if args.trace is not None:
+                get_logger(
+                    "repro.scenario.run",
+                    scenario=result.spec.name,
+                    seed=result.seed,
+                ).info(f"trace: wrote flight recorder to {args.trace}")
             print(f"Scenario: {result.spec.name} (seed {result.seed}) — "
                   f"{result.spec.description}\n")
             print(ScenarioRunner.format_rounds(result))

@@ -604,10 +604,20 @@ class MQTTBroker:
     # ------------------------------------------------------------------ misc
 
     def reset_stats(self) -> None:
-        """Zero the counters and the traffic log (subscriptions are kept)."""
+        """Zero the counters and the traffic log (subscriptions are kept).
+
+        Cache hit/miss counters are included: they used to survive
+        ``reset_stats`` (and broker reuse across scenarios), drifting the
+        exported cache-efficiency numbers.  The caches themselves keep their
+        contents — only the accounting restarts.
+        """
         self.stats = BrokerStats()
         self.stats.retained_messages = len(self._retained)
         self.traffic.clear()
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self._subscriptions.match_cache_hits = 0
+        self._subscriptions.match_cache_misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

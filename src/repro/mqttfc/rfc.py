@@ -165,6 +165,9 @@ class FleetControlEndpoint:
         self._pending: Dict[str, PendingCall] = {}
         self._call_counter = itertools.count()
         self.stats = EndpointStats()
+        # Optional sim-time tracer (repro.obs); ``None`` keeps the frame
+        # paths free of any instrumentation cost beyond one attribute check.
+        self.tracer: Optional[Any] = None
 
         self._response_topic = response_topic(self.client_id)
         client.message_callback_add(self._response_topic, self._on_raw_message)
@@ -305,15 +308,28 @@ class FleetControlEndpoint:
         """
         frame = compress_frame(encode_payload_frame(payload_obj), self.compression)
         total = 0
+        tracer = self.tracer
         for chunk_bytes in self._encoder.iter_payloads_frame(frame):
             self.client.publish(topic, chunk_bytes, qos=self.qos)
             self.stats.chunks_sent += 1
             total += len(chunk_bytes)
+            if tracer is not None:
+                tracer.instant(
+                    "chunk-encode",
+                    "codec",
+                    args={"endpoint": self.client_id, "bytes": len(chunk_bytes)},
+                )
         return total
 
     def _on_raw_message(self, _client: MQTTClient, message: MQTTMessage) -> None:
         """Chunk-level handler for both request and response topics."""
         self.stats.chunks_received += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "chunk-decode",
+                "codec",
+                args={"endpoint": self.client_id, "bytes": len(message.payload)},
+            )
         sender = message.sender_id or "?"
         complete = self._assembler.add(sender, memoryview(message.payload))
         if complete is None:

@@ -1,0 +1,24 @@
+"""Unified observability layer: metrics registry, sim-time tracer, logging.
+
+The package is deliberately a leaf: nothing here imports runtime, scenario,
+or broker modules.  Components expose plain attributes (``tracer``,
+counters) and the :mod:`repro.obs.attach` helpers wire them up by duck
+typing, so the hot paths pay a single ``is None`` check when observability
+is disabled and literally nothing when a component was never attached.
+"""
+
+from .log import configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+from .trace import LifecycleTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LifecycleTracer",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "metric_key",
+]

@@ -1,0 +1,123 @@
+"""Trace-file tooling: load and summarize flight-recorder exports.
+
+Handles both export formats the :class:`~repro.obs.trace.Tracer` writes —
+JSONL (one event per line, timestamps in sim seconds) and Chrome
+``trace_event`` JSON (timestamps in integer microseconds) — and normalizes
+everything back to sim seconds for reporting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["load_trace_events", "summarize_trace", "trace_summary_rows"]
+
+
+def load_trace_events(path: str) -> List[Dict[str, Any]]:
+    """Load trace events from a ``.trace.json`` / ``.trace.jsonl`` file.
+
+    Returns normalized event dicts (``ph``/``name``/``cat``/``ts``/``dur``
+    with times in sim seconds); Chrome metadata (``"M"``) records are
+    dropped.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    # The Chrome export is one JSON object; JSONL is one object per line.
+    # A whole-document parse disambiguates (a multi-line JSONL file fails it).
+    document: Any = None
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+    if isinstance(document, dict):
+        if "traceEvents" not in document:
+            if "ph" in document:
+                return [document]
+            raise ValueError("not a Chrome trace_event document")
+        events = []
+        for raw in document["traceEvents"]:
+            if raw.get("ph") == "M":
+                continue
+            event = {
+                "ph": raw.get("ph", "i"),
+                "name": raw.get("name", "?"),
+                "cat": raw.get("cat", "?"),
+                "ts": float(raw.get("ts", 0)) / 1_000_000.0,
+            }
+            if "dur" in raw:
+                event["dur"] = float(raw["dur"]) / 1_000_000.0
+            events.append(event)
+        return events
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        if not isinstance(raw, dict) or "ph" not in raw:
+            raise ValueError("not a tracer JSONL file")
+        events.append(raw)
+    return events
+
+
+def summarize_trace(path: str) -> Dict[str, Any]:
+    """Aggregate a trace file into per-(category, name) statistics."""
+    events = load_trace_events(path)
+    groups: Dict[Any, Dict[str, Any]] = {}
+    spans = instants = anomalies = 0
+    span_names = set()
+    for event in events:
+        ph = event.get("ph")
+        cat = event.get("cat", "?")
+        name = event.get("name", "?")
+        if ph == "X":
+            spans += 1
+            span_names.add(name)
+        elif ph == "i":
+            instants += 1
+            if cat == "anomaly":
+                anomalies += 1
+        group = groups.setdefault(
+            (cat, name),
+            {"cat": cat, "name": name, "count": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        group["count"] += 1
+        duration = float(event.get("dur", 0.0))
+        group["total_s"] += duration
+        if duration > group["max_s"]:
+            group["max_s"] = duration
+    return {
+        "path": path,
+        "events": len(events),
+        "spans": spans,
+        "instants": instants,
+        "anomalies": anomalies,
+        "span_names": span_names,
+        "groups": groups,
+    }
+
+
+def trace_summary_rows(summary: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Render a summary into table rows, largest total duration first."""
+    rows = []
+    for group in sorted(
+        summary["groups"].values(),
+        key=lambda g: (-g["total_s"], g["cat"], g["name"]),
+    ):
+        count = group["count"]
+        rows.append(
+            {
+                "cat": group["cat"],
+                "name": group["name"],
+                "count": count,
+                "total_s": group["total_s"],
+                "mean_s": group["total_s"] / count if count else 0.0,
+                "max_s": group["max_s"],
+            }
+        )
+    return rows

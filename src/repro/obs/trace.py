@@ -1,0 +1,235 @@
+"""Deterministic flight recorder: sim-time spans and instants.
+
+The :class:`Tracer` records events keyed to **simulation time** into a
+bounded ring buffer.  Every timestamp comes from the sim clock or from
+event state that is itself derived from the sim clock (delivery records,
+lifecycle events, fault windows) — never from wall time or RNG — so two
+runs of the same spec and seed produce byte-identical traces, and a run
+with tracing attached produces a byte-identical signature to one without.
+
+Two export formats:
+
+* **JSONL** — one compact, key-sorted JSON object per line; the format the
+  determinism tests pin byte-for-byte.
+* **Chrome ``trace_event``** — a ``{"traceEvents": [...]}`` document that
+  opens directly in Perfetto or ``chrome://tracing``.  Sim seconds are
+  scaled to integer microseconds and events are mapped to one track (tid)
+  per category.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["Tracer", "LifecycleTracer", "CATEGORY_TRACKS"]
+
+#: Chrome-trace track (tid) per event category; unknown categories get 99.
+CATEGORY_TRACKS: Dict[str, int] = {
+    "round": 1,
+    "lifecycle": 2,
+    "fault": 3,
+    "delivery": 4,
+    "codec": 5,
+    "anomaly": 6,
+}
+
+_DEFAULT_CAPACITY = 65536
+
+
+class Tracer:
+    """Bounded ring-buffer recorder for sim-time spans and instants.
+
+    Parameters
+    ----------
+    clock:
+        Optional zero-argument callable returning the current simulated
+        time in seconds; used when an event is recorded without an
+        explicit timestamp.
+    capacity:
+        Maximum retained events.  When full, the oldest event is evicted
+        (flight-recorder semantics) and ``dropped_events`` is incremented.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = _DEFAULT_CAPACITY,
+    ) -> None:
+        self.clock = clock
+        self.capacity = int(capacity)
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self.dropped_events = 0
+        self.anomalies: List[Dict[str, Any]] = []
+        #: Optional callback fired on :meth:`note_anomaly` — the scenario
+        #: runner points this at an immediate dump-to-disk so the recorder
+        #: contents survive a crash or stuck round.
+        self.dump_hook: Optional[Callable[[str], None]] = None
+
+    # ------------------------------------------------------------- recording
+
+    def now(self) -> float:
+        return float(self.clock()) if self.clock is not None else 0.0
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped_events += 1
+        self.events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration event at ``ts`` (default: sim now)."""
+        event: Dict[str, Any] = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": float(ts if ts is not None else self.now()),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts_start: float,
+        ts_end: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a span covering ``[ts_start, ts_end]`` in sim seconds."""
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": float(ts_start),
+            "dur": max(0.0, float(ts_end) - float(ts_start)),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def note_anomaly(
+        self,
+        kind: str,
+        ts: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record an anomaly instant and fire the dump hook (if set).
+
+        Anomalies are the flight recorder's dump triggers: deadline
+        restarts, injected crashes, stuck rounds.
+        """
+        at = float(ts if ts is not None else self.now())
+        record: Dict[str, Any] = {"kind": kind, "ts": at}
+        if args:
+            record["args"] = args
+        self.anomalies.append(record)
+        self.instant(kind, "anomaly", ts=at, args=args)
+        if self.dump_hook is not None:
+            self.dump_hook(kind)
+
+    # --------------------------------------------------------------- exports
+
+    def to_jsonl(self) -> str:
+        """Compact key-sorted JSONL — the byte-pinned determinism format."""
+        lines = [
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` document (Perfetto / chrome://tracing)."""
+        trace_events: List[Dict[str, Any]] = []
+        for event in self.events:
+            out: Dict[str, Any] = {
+                "ph": event["ph"],
+                "name": event["name"],
+                "cat": event["cat"],
+                "pid": 1,
+                "tid": CATEGORY_TRACKS.get(event["cat"], 99),
+                "ts": int(round(event["ts"] * 1_000_000)),
+            }
+            if event["ph"] == "X":
+                out["dur"] = int(round(event["dur"] * 1_000_000))
+            if event["ph"] == "i":
+                out["s"] = "g"
+            if "args" in event:
+                out["args"] = event["args"]
+            trace_events.append(out)
+        metadata = [
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+            for cat, tid in sorted(CATEGORY_TRACKS.items(), key=lambda kv: kv[1])
+        ]
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": metadata + trace_events,
+            "otherData": {
+                "clock": "simulation",
+                "dropped_events": self.dropped_events,
+                "anomalies": self.anomalies,
+            },
+        }
+
+    def chrome_json(self) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True, separators=(",", ":"))
+
+
+class LifecycleTracer:
+    """Adapter turning :class:`~repro.core.rounds.LifecycleEvent`s into spans.
+
+    Mirrors ``PhaseTimer``'s interval bookkeeping: prime with the current
+    phase, then each ``phase`` event closes the open interval into a
+    complete span named after the phase that just ended.  Deadline expiry
+    and restarts additionally register as anomalies (dump triggers).
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self._phase_name: Optional[str] = None
+        self._round_index = 0
+        self._since = 0.0
+
+    def prime(self, phase: Any, round_index: int, at: float) -> None:
+        self._phase_name = getattr(phase, "value", str(phase))
+        self._round_index = int(round_index)
+        self._since = float(at)
+
+    def on_event(self, event: Any) -> None:
+        kind = event.kind
+        phase_name = getattr(event.phase, "value", str(event.phase))
+        # ``restart``/``advance``/``complete`` change the phase without a
+        # dedicated ``phase`` event, and ``admit``/``drop`` fire mid-phase;
+        # closing on *change* keeps one span per contiguous phase dwell.
+        if phase_name != self._phase_name:
+            if self._phase_name is not None:
+                self.tracer.complete(
+                    self._phase_name,
+                    "round",
+                    self._since,
+                    event.at,
+                    args={"round": self._round_index, "epoch": event.epoch},
+                )
+            self.prime(event.phase, event.round_index, event.at)
+        if kind == "phase":
+            return
+        args: Dict[str, Any] = {"round": event.round_index, "epoch": event.epoch}
+        if event.client_id:
+            args["client_id"] = event.client_id
+        if kind in ("deadline", "restart"):
+            self.tracer.note_anomaly(f"round-{kind}", ts=event.at, args=args)
+        else:
+            self.tracer.instant(kind, "lifecycle", ts=event.at, args=args)

@@ -128,6 +128,11 @@ class EventScheduler:
         # Latest scheduled deliver_at per (sender, receiver) logical connection.
         self._fifo_tails: Dict[Tuple[Optional[str], str], float] = {}
         self._trace = hashlib.sha256() if record_trace else None
+        # Observability hooks (repro.obs).  Both default to detached so the
+        # per-event cost is one ``is None`` check; ``tools/bench.py`` gates
+        # the attached cost (``obs_overhead_ratio``).
+        self.tracer: Optional[object] = None
+        self._obs_observe: Optional[Callable[[float], None]] = None
 
         self.events_processed = 0
         self.messages_processed = 0
@@ -187,6 +192,21 @@ class EventScheduler:
     def brokers(self) -> List["MQTTBroker"]:
         """Brokers currently delivering through this scheduler."""
         return list(self._brokers)
+
+    def attach_metrics(self, registry: Optional[object]) -> None:
+        """Attach (or detach, with ``None``) a live delivery-latency histogram.
+
+        The bound ``observe`` method is cached here so the per-delivery cost
+        is one attribute load and one call; passing ``None`` restores the
+        zero-instrumentation path.
+        """
+        if registry is None:
+            self._obs_observe = None
+            return
+        self._obs_observe = registry.histogram(
+            "scheduler_delivery_latency_s",
+            buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+        ).observe
 
     # -------------------------------------------------------------- ingestion
 
@@ -397,6 +417,23 @@ class EventScheduler:
             self._trace.update(
                 f"{message.topic}|{message.sender_id}|{record.subscriber_id}"
                 f"|{record.deliver_at:.9f}|{record.sequence}\n".encode()
+            )
+        if self._obs_observe is not None:
+            self._obs_observe(due - record.message.timestamp)
+        if self.tracer is not None:
+            # Delivery lifetime broker→client, entirely from sim state
+            # (publish timestamp → heap due time): determinism-neutral.
+            message = record.message
+            self.tracer.complete(
+                message.topic,
+                "delivery",
+                message.timestamp,
+                due,
+                args={
+                    "sender": message.sender_id,
+                    "receiver": record.subscriber_id,
+                    "seq": record.sequence,
+                },
             )
         try:
             dispatch = target._dispatch

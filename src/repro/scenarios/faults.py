@@ -83,6 +83,11 @@ class FaultInjector:
         self.faults_ended = 0
         self.crashes_injected = 0
         self.anchors_fired = 0
+        #: Optional sim-time tracer (repro.obs): fault windows become spans,
+        #: crashes become anomaly dump triggers.  Attached by the scenario
+        #: runner after ``bind()``; handlers fire later in sim time, so even
+        #: wall-anchored windows are traced.
+        self.tracer = None
         #: (due_time, client_id) pairs awaiting re-admission at a round boundary.
         self._pending_rejoins: List[Tuple[float, str]] = []
         #: The exact profile instances each degradation window pushed, keyed by
@@ -188,16 +193,35 @@ class FaultInjector:
     # -------------------------------------------------------------- handlers
 
     def _log(self, kind: str, fault: FaultSpec, detail: str) -> None:
+        now = self.experiment.clock.now()
         self.experiment.event_log.record(
-            timestamp=self.experiment.clock.now(),
+            timestamp=now,
             kind=kind,
             actor=fault.kind,
             detail=detail or fault.detail,
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                kind, "fault", ts=now, args={"fault": fault.kind, "detail": detail}
+            )
+
+    def _trace_window(self, fault: FaultSpec) -> None:
+        """Emit the fault's full window as one span (start handler knows both ends)."""
+        if self.tracer is None:
+            return
+        now = self.experiment.clock.now()
+        self.tracer.complete(
+            fault.kind,
+            "fault",
+            now,
+            now + max(0.0, fault.end_s - fault.start_s),
+            args={"detail": fault.detail},
         )
 
     def _start_slowdown(self, fault: FaultSpec) -> None:
         self.experiment.network.scale_broker_processing(fault.factor)
         self.faults_started += 1
+        self._trace_window(fault)
         self._log("fault_start", fault, f"broker processing x{fault.factor}")
 
     def _end_slowdown(self, fault: FaultSpec) -> None:
@@ -223,6 +247,7 @@ class FaultInjector:
             pushed[client_id] = profile
         self._pushed_profiles[id(fault)] = pushed
         self.faults_started += 1
+        self._trace_window(fault)
         self._log(
             "fault_start",
             fault,
@@ -257,6 +282,10 @@ class FaultInjector:
                     self._pending_rejoins.append((rejoin_at, client_id))
         self.faults_started += 1
         self.faults_ended += 1
+        if self.tracer is not None and crashed:
+            self.tracer.note_anomaly(
+                "client-crash", args={"clients": ",".join(crashed)}
+            )
         self._log("fault_start", fault, f"crashed {','.join(crashed) or '(nobody)'}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

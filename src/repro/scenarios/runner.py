@@ -29,6 +29,7 @@ the cells that completed before the kill.
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing
 import os
 import time
@@ -44,6 +45,8 @@ from repro.experiments.report import (
     messaging_vs_analytic_rows,
     write_grid_report,
 )
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.attach import attach_experiment_metrics, attach_experiment_tracer
 from repro.runtime.experiment import FLExperiment, RoundResult
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.registry import get_scenario
@@ -111,6 +114,10 @@ class ScenarioResult:
     stored_payload: Optional[Dict[str, object]] = field(
         default=None, repr=False, compare=False
     )
+    #: Unified metrics snapshot (``repro.obs.MetricsRegistry.snapshot()``)
+    #: taken after the last round; persisted in the store payload and served
+    #: by ``scenario serve /api/metrics``.
+    metrics: Dict[str, object] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def from_store(self) -> bool:
@@ -240,6 +247,7 @@ class ScenarioResult:
                 "stragglers_cut": int(self.stragglers_cut),
                 "faults_started": int(self.faults_started),
                 "round_rows": self.round_rows(),
+                "metrics": self.metrics,
             }
         )
 
@@ -264,6 +272,7 @@ class ScenarioResult:
             final_sim_time_s=float(payload["sim_time_s"]),
             experiment=None,
             stored_payload=payload,
+            metrics=dict(payload.get("metrics", {})),
         )
 
 
@@ -297,6 +306,7 @@ class CellResult:
     stragglers_cut: int
     faults_started: int
     round_rows: List[Dict[str, object]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def from_scenario(
@@ -324,6 +334,7 @@ class CellResult:
             stragglers_cut=result.stragglers_cut,
             faults_started=result.faults_started,
             round_rows=result.round_rows(),
+            metrics=dict(result.metrics),
         )
 
     # ------------------------------------------------------- store payloads
@@ -357,6 +368,7 @@ class CellResult:
                 "stragglers_cut": int(self.stragglers_cut),
                 "faults_started": int(self.faults_started),
                 "round_rows": self.round_rows,
+                "metrics": self.metrics,
             }
         )
 
@@ -389,6 +401,7 @@ class CellResult:
             stragglers_cut=int(payload["stragglers_cut"]),
             faults_started=int(payload["faults_started"]),
             round_rows=[dict(row) for row in payload["round_rows"]],
+            metrics=dict(payload.get("metrics", {})),
         )
 
 
@@ -431,14 +444,22 @@ class GridResult:
         return write_grid_report(self.cells, out_dir)
 
 
-def _run_grid_cell(payload: Tuple[int, Dict[str, object], Dict[str, object]]) -> CellResult:
+def _run_grid_cell(
+    payload: Tuple[int, Dict[str, object], Dict[str, object], Optional[str]]
+) -> CellResult:
     """Worker entry point: run one grid cell from its JSON-safe payload.
 
     Top-level (picklable) so it works under both ``fork`` and ``spawn``
-    start methods; the payload is ``(index, coordinates, spec_dict)``.
+    start methods; the payload is ``(index, coordinates, spec_dict,
+    trace_dir)``.  With a trace directory the cell writes its own flight
+    recorder files (prefixed ``cell-<index>``), exactly like a single run.
     """
-    index, coordinates, spec_dict = payload
-    result = ScenarioRunner().run(ScenarioSpec.from_dict(spec_dict))
+    index, coordinates, spec_dict, trace_dir = payload
+    result = ScenarioRunner().run(
+        ScenarioSpec.from_dict(spec_dict),
+        trace_dir=trace_dir,
+        trace_prefix=f"cell-{index:03d}_" if trace_dir else "",
+    )
     return CellResult.from_scenario(index, coordinates, result)
 
 
@@ -548,6 +569,8 @@ class ScenarioRunner:
         scenario: Union[str, ScenarioSpec],
         seed: Optional[int] = None,
         use_store: bool = True,
+        trace_dir: Union[str, os.PathLike, None] = None,
+        trace_prefix: str = "",
     ) -> ScenarioResult:
         """Compile and execute ``scenario`` (a spec or a registry name).
 
@@ -562,6 +585,14 @@ class ScenarioRunner:
         looked up by its content address; a hit skips execution entirely and
         returns the stored payload — same signature byte for byte, same
         metric rows, ``result.from_store`` set, ``result.experiment`` None.
+
+        ``trace_dir`` attaches the sim-time flight recorder and writes
+        ``<prefix><scenario>_<seed>.trace.json`` (Chrome ``trace_event``),
+        ``….trace.jsonl`` and ``….metrics.json`` into the directory after
+        the run.  Tracing is determinism-neutral (the signature is
+        byte-identical with it on or off) but forces execution: a store hit
+        cannot reproduce a trace, so the lookup is skipped (the fresh result
+        is still persisted).
         """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         if seed is not None:
@@ -572,22 +603,41 @@ class ScenarioRunner:
         content_key: Optional[str] = None
         if self._store is not None and use_store:
             content_key = spec_hash(spec)
-            stored = self._store.get_run(content_key, effective_seed)
-            if stored is not None:
-                self.store_hits += 1
-                return ScenarioResult.from_payload(spec, stored.payload)
+            if trace_dir is None:
+                stored = self._store.get_run(content_key, effective_seed)
+                if stored is not None:
+                    self.store_hits += 1
+                    return ScenarioResult.from_payload(spec, stored.payload)
             self.store_misses += 1
         compiled = compile_scenario(spec)
         experiment = compiled.experiment
 
+        registry = MetricsRegistry()
+        attach_experiment_metrics(experiment, registry, injector=compiled.injector)
+        tracer: Optional[Tracer] = None
+        if trace_dir is not None:
+            tracer = Tracer()
+            attach_experiment_tracer(experiment, tracer, injector=compiled.injector)
+            stem = f"{trace_prefix}{spec.name}_{effective_seed}"
+            tracer.dump_hook = lambda kind: self._dump_flight_recorder(
+                trace_dir, stem, tracer
+            )
+
         rounds: List[RoundResult] = []
         session = experiment.coordinator.session(experiment.config.session_id)
-        for round_index in range(spec.training.rounds):
-            for client_id in compiled.due_admissions(experiment.clock.now()):
-                experiment.admit_client(client_id)
-            if not session.is_active:
-                break
-            rounds.append(experiment.run_round(round_index))
+        try:
+            for round_index in range(spec.training.rounds):
+                for client_id in compiled.due_admissions(experiment.clock.now()):
+                    experiment.admit_client(client_id)
+                if not session.is_active:
+                    break
+                rounds.append(experiment.run_round(round_index))
+        except RuntimeError as error:
+            if tracer is not None:
+                # Stuck round: record the anomaly (which dumps the flight
+                # recorder) before propagating.
+                tracer.note_anomaly("stuck-round", args={"error": str(error)})
+            raise
 
         result = ScenarioResult(
             spec=spec,
@@ -603,12 +653,61 @@ class ScenarioRunner:
             total_traffic_bytes=experiment._total_traffic_bytes(),
             final_sim_time_s=float(experiment.clock.now()),
             experiment=experiment,
+            metrics=_plain(registry.snapshot()),
         )
+        if tracer is not None:
+            self._write_trace_files(
+                trace_dir,
+                f"{trace_prefix}{spec.name}_{effective_seed}",
+                tracer,
+                result.metrics,
+            )
         if content_key is not None:
             self._store.put_run(
                 content_key, effective_seed, spec, result.signature, result.to_payload()
             )
         return result
+
+    # ------------------------------------------------------- trace artefacts
+
+    @staticmethod
+    def _dump_flight_recorder(
+        trace_dir: Union[str, os.PathLike], stem: str, tracer: Tracer
+    ) -> str:
+        """Dump the ring buffer on anomaly (deadline restart, crash, stuck round).
+
+        Overwrites the previous dump: the ring is cumulative, so the last
+        anomaly's dump contains every retained event.
+        """
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(os.fspath(trace_dir), f"{stem}.anomaly.trace.json")
+        with open(path, "w") as handle:
+            handle.write(tracer.chrome_json())
+        return path
+
+    @staticmethod
+    def _write_trace_files(
+        trace_dir: Union[str, os.PathLike],
+        stem: str,
+        tracer: Tracer,
+        metrics: Mapping[str, object],
+    ) -> Dict[str, str]:
+        """Write the run's Chrome trace, JSONL trace and metrics snapshot."""
+        os.makedirs(trace_dir, exist_ok=True)
+        base = os.fspath(trace_dir)
+        paths = {
+            "chrome": os.path.join(base, f"{stem}.trace.json"),
+            "jsonl": os.path.join(base, f"{stem}.trace.jsonl"),
+            "metrics": os.path.join(base, f"{stem}.metrics.json"),
+        }
+        with open(paths["chrome"], "w") as handle:
+            handle.write(tracer.chrome_json())
+        with open(paths["jsonl"], "w") as handle:
+            handle.write(tracer.to_jsonl())
+        with open(paths["metrics"], "w") as handle:
+            json.dump(metrics, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        return paths
 
     def run_suite(
         self,
@@ -636,6 +735,7 @@ class ScenarioRunner:
         grid: Union[str, SweepSpec],
         workers: int = 1,
         use_store: bool = True,
+        trace_dir: Union[str, os.PathLike, None] = None,
     ) -> GridResult:
         """Execute every cell of a parameter grid; returns ordered results.
 
@@ -667,24 +767,31 @@ class ScenarioRunner:
         pending: List = cells
         hashes: Dict[int, str] = {}
         if store is not None:
-            pending = []
             for cell in cells:
                 hashes[cell.index] = spec_hash(cell.spec)
-                stored = store.get_run(hashes[cell.index], cell.spec.seed)
-                if stored is not None:
-                    cached.append(
-                        CellResult.from_payload(
-                            cell.index, dict(cell.coordinates), stored.payload
+            if trace_dir is None:
+                pending = []
+                for cell in cells:
+                    stored = store.get_run(hashes[cell.index], cell.spec.seed)
+                    if stored is not None:
+                        cached.append(
+                            CellResult.from_payload(
+                                cell.index, dict(cell.coordinates), stored.payload
+                            )
                         )
-                    )
-                else:
-                    pending.append(cell)
+                    else:
+                        pending.append(cell)
+            # Tracing forces execution (a cached cell has no trace to
+            # replay), so the consult is skipped and every cell is pending;
+            # fresh results are still persisted below.
             self.store_hits += len(cached)
             self.store_misses += len(pending)
 
         spec_by_index = {cell.index: cell.spec for cell in pending}
+        trace_base = os.fspath(trace_dir) if trace_dir is not None else None
         payloads = [
-            (cell.index, dict(cell.coordinates), cell.spec.as_dict()) for cell in pending
+            (cell.index, dict(cell.coordinates), cell.spec.as_dict(), trace_base)
+            for cell in pending
         ]
         executed: List[CellResult] = []
 

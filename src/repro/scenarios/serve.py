@@ -17,6 +17,10 @@ endpoint                              returns
                                       stored cells (byte-identical to the
                                       ``--report`` bundle's ``grid.csv``)
 ``GET /api/grids/<hash>/signatures``  the golden-signature file for the grid
+``GET /api/metrics``                  per-run unified metric snapshots (index)
+``GET /api/metrics/<hash>/<seed>``    one run's full metrics snapshot
+``GET /api/trace``                    flight-recorder files in ``--trace-dir``
+``GET /api/trace/<file>``             one flight-recorder file's contents
 ====================================  =========================================
 
 ``<hash>`` accepts an unambiguous prefix (and, for grids, the grid name).
@@ -32,6 +36,7 @@ the shared store serializes access internally.
 from __future__ import annotations
 
 import json
+import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlparse
@@ -67,6 +72,9 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-results-store/1"
     #: Set by :func:`create_server`.
     store: ResultsStore
+    #: Optional flight-recorder directory (``--trace-dir``); set by
+    #: :func:`create_server`.  ``None`` disables the ``/api/trace`` routes.
+    trace_dir: Optional[str] = None
 
     # ------------------------------------------------------------- plumbing
 
@@ -130,6 +138,23 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                 cells = _grid_cells(self.store, grid)
                 body = "".join(f"{c.index:03d}  {c.signature}\n" for c in cells).encode()
                 self._send(200, "text/plain; charset=utf-8", body)
+            elif parts == ["api", "metrics"]:
+                self._json({"runs": [self._metrics_meta(r) for r in self.store.runs()]})
+            elif parts[:2] == ["api", "metrics"] and len(parts) == 4:
+                run = self.store.resolve_run(parts[2], seed=int(parts[3]))
+                self._json(
+                    {
+                        "spec_hash": run.spec_hash,
+                        "seed": run.seed,
+                        "scenario": run.scenario,
+                        "signature": run.signature,
+                        "metrics": run.payload.get("metrics", {}),
+                    }
+                )
+            elif parts == ["api", "trace"]:
+                self._json({"trace_dir": self.trace_dir, "files": self._trace_files()})
+            elif parts[:2] == ["api", "trace"] and len(parts) == 3:
+                self._send_trace_file(parts[2])
             else:
                 self._error(404, f"no such endpoint: {self.path}")
         except (ResultsStoreError, ValueError) as exc:
@@ -154,6 +179,45 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         }
 
     @staticmethod
+    def _metrics_meta(run) -> Dict[str, object]:
+        metrics = run.payload.get("metrics", {})
+        return {
+            "spec_hash": run.spec_hash,
+            "seed": run.seed,
+            "scenario": run.scenario,
+            "has_metrics": bool(metrics),
+            "counters": len(metrics.get("counters", {})),
+            "gauges": len(metrics.get("gauges", {})),
+            "histograms": len(metrics.get("histograms", {})),
+        }
+
+    def _trace_files(self) -> List[Dict[str, object]]:
+        if self.trace_dir is None:
+            raise ResultsStoreError("server started without --trace-dir")
+        if not os.path.isdir(self.trace_dir):
+            raise ResultsStoreError(f"trace dir not found: {self.trace_dir}")
+        files = []
+        for name in sorted(os.listdir(self.trace_dir)):
+            path = os.path.join(self.trace_dir, name)
+            if os.path.isfile(path) and name.endswith((".json", ".jsonl")):
+                files.append({"name": name, "size": os.path.getsize(path)})
+        return files
+
+    def _send_trace_file(self, name: str) -> None:
+        # The listing is the allow-list: only flat file names that the
+        # directory scan itself produced can be fetched (no traversal).
+        if name not in {entry["name"] for entry in self._trace_files()}:
+            raise ResultsStoreError(f"no such trace file: {name}")
+        with open(os.path.join(self.trace_dir, name), "rb") as handle:
+            body = handle.read()
+        content_type = (
+            "application/json; charset=utf-8"
+            if name.endswith(".json")
+            else "application/x-ndjson; charset=utf-8"
+        )
+        self._send(200, content_type, body)
+
+    @staticmethod
     def _grid_meta(grid: StoredGrid) -> Dict[str, object]:
         return {
             "sweep_hash": grid.sweep_hash,
@@ -170,9 +234,14 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 8765,
     verbose: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the results-store HTTP server."""
-    handler = type("BoundStoreRequestHandler", (StoreRequestHandler,), {"store": store})
+    handler = type(
+        "BoundStoreRequestHandler",
+        (StoreRequestHandler,),
+        {"store": store, "trace_dir": os.fspath(trace_dir) if trace_dir else None},
+    )
     server = ThreadingHTTPServer((host, port), handler)
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
@@ -183,9 +252,12 @@ def serve_forever(
     host: str = "127.0.0.1",
     port: int = 8765,
     verbose: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> None:
     """Run the server until interrupted (the ``scenario serve`` entry point)."""
-    server = create_server(store, host=host, port=port, verbose=verbose)
+    server = create_server(
+        store, host=host, port=port, verbose=verbose, trace_dir=trace_dir
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -29,6 +29,7 @@ def _metrics(**overrides):
         "aggregation_contributions": 24,
         "aggregation_params": 1_000_064,
         "aggregation_reduce_s": 0.05,
+        "obs_overhead_ratio": 1.0,
     }
     metrics.update(overrides)
     return metrics
@@ -78,6 +79,16 @@ def test_scheduler_regression_fails(tmp_path, baseline, capsys):
 def test_codec_regression_fails(tmp_path, baseline):
     fresh = _doc(tmp_path / "fresh.json", _metrics(codec_encode_mb_per_s=1_000.0))
     assert bench.check_regression(baseline, fresh_path=fresh) == 1
+
+
+def test_obs_overhead_gate_is_tight(tmp_path, baseline, capsys):
+    # A 1% attach cost passes the 2% tolerance; a 5% cost fails it — the
+    # observability layer cannot quietly grow a hot-path tax.
+    fine = _doc(tmp_path / "fine.json", _metrics(obs_overhead_ratio=0.99))
+    assert bench.check_regression(baseline, fresh_path=fine) == 0
+    slow = _doc(tmp_path / "slow.json", _metrics(obs_overhead_ratio=0.95))
+    assert bench.check_regression(baseline, fresh_path=slow) == 1
+    assert "obs_overhead_ratio" in capsys.readouterr().out
 
 
 def test_aggregation_throughput_normalizes_workload_size(tmp_path, baseline):
@@ -145,6 +156,6 @@ def test_global_tolerance_overrides_every_gate(tmp_path, baseline):
 
 
 def test_committed_baseline_has_every_gate_metric():
-    """The real BENCH_pr5.json must satisfy every gate against itself."""
-    baseline_path = os.path.join(REPO_ROOT, "BENCH_pr5.json")
+    """The real BENCH_pr7.json must satisfy every gate against itself."""
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_pr7.json")
     assert bench.check_regression(baseline_path, fresh_path=baseline_path) == 0
