@@ -19,11 +19,13 @@ The MB/s figures printed here also feed ``tools/bench.py`` /
 from __future__ import annotations
 
 import time
+import tracemalloc
 
 import numpy as np
 from bench import build_codec_state as _state_dict
 from conftest import emit, fast_mode
 
+from repro.mqttfc.codecs import make_update_codec
 from repro.mqttfc.serialization import (
     decode_payload,
     encode_payload,
@@ -72,6 +74,71 @@ def test_decode_views_alias_the_frame():
         assert not view.flags.writeable  # frombuffer on bytes is read-only
         assert np.shares_memory(view, np.frombuffer(raw, dtype=np.uint8))
         assert np.array_equal(view, source)
+
+
+def test_update_codec_encode_reuses_scratch_without_copies():
+    """Steady-state update-codec encodes allocate **zero** new data buffers.
+
+    Every quantized payload the int8 pipeline emits must be one of the
+    codec's declared :class:`ScratchArena` buffers (no per-leaf copies), and
+    a second encode of the same shapes must reuse them all: the arena's
+    allocation counter stays flat and the transient footprint (tracked with
+    ``tracemalloc``) stays a small fraction of the update size.
+    """
+    state = _state_dict(STATE_MB)
+    codec = make_update_codec("int8")
+    first = codec.encode_state("bench_session", state)
+    buffers = codec.arena.buffers()
+    for entry in first["tensors"]:
+        # Identity, not just shares_memory: the payload *is* the scratch.
+        assert any(entry["data"] is buffer for buffer in buffers)
+
+    allocations = codec.arena.allocations
+    tracemalloc.start()
+    second = codec.encode_state("bench_session", state)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert codec.arena.allocations == allocations
+    for entry_a, entry_b in zip(first["tensors"], second["tensors"]):
+        assert entry_b["data"] is entry_a["data"]
+    bytes_in = sum(array.nbytes for array in state.values())
+    assert peak < 0.1 * bytes_in
+
+
+def test_update_codec_wire_aliases_scratch_in_the_frame():
+    """The encoded update feeds the frame path with aliasing segments.
+
+    End to end: codec scratch → wire dict → ``encode_payload_frame``; each
+    tensor payload must appear in the frame as a memoryview over the arena
+    buffer, so the whole send path stays copy-free until the chunk gather.
+    """
+    state = _state_dict(1)
+    codec = make_update_codec("fp16")
+    encoded = codec.encode_state("bench_session", state)
+    frame = encode_payload_frame({"state": encoded, "round_index": 1})
+
+    scratch = codec.arena.buffers()
+    data_arrays = [entry["data"] for entry in encoded["tensors"]]
+    leaf_segments = frame.segments[1:]
+    assert len(leaf_segments) == len(data_arrays)
+    for array, segment in zip(data_arrays, leaf_segments):
+        assert isinstance(segment, memoryview)
+        assert np.shares_memory(np.frombuffer(segment, dtype=np.uint8), array)
+        assert any(np.shares_memory(array, buffer) for buffer in scratch)
+
+
+def test_update_codec_decode_is_read_only():
+    state = _state_dict(1)
+    codec = make_update_codec("int8")
+    raw = encode_payload({"state": codec.encode_state("bench_session", state)})
+    received = decode_payload(raw, copy_arrays=False)["state"]
+    decoded = codec.decode_state("bench_session", received)
+    for name, source in state.items():
+        view = decoded[name]
+        assert not view.flags.writeable
+        assert view.shape == source.shape
+        assert view.dtype == source.dtype
 
 
 def test_codec_throughput(benchmark):

@@ -45,6 +45,7 @@ from repro.ml.models import ClassifierModel
 from repro.ml.state import StateDict
 from repro.mqtt.broker import MQTTBroker
 from repro.mqtt.client import MQTTClient
+from repro.mqttfc.codecs import CODEC_WIRE_KEY, UpdateCodec, is_encoded_state
 from repro.mqttfc.compression import CompressionConfig
 from repro.mqttfc.rfc import FleetControlEndpoint, PendingCall
 from repro.sim.device import DeviceStats
@@ -158,6 +159,11 @@ class SDFLMQClient:
         Optional callable that pumps the whole broker until quiescent; the
         deterministic runtime injects it so blocking-style calls
         (``wait_global_update``) can make progress.
+    update_codec:
+        Update-compression codec spec applied to contributions on the wire
+        (``"none"``, ``"fp16"``, ``"int8"``, ``"topk[=d]"``, ``"delta"`` or a
+        ``+``-composed pipeline such as ``"delta+int8"``).  Every session
+        participant must run the same codec.
     """
 
     def __init__(
@@ -171,13 +177,17 @@ class SDFLMQClient:
         stats_provider: Optional[Callable[[], DeviceStats]] = None,
         resources: Optional[ResourceAccountant] = None,
         pump: Optional[Callable[[], int]] = None,
+        update_codec: Optional[str] = None,
     ) -> None:
         self.client_id = validate_identifier(client_id, "client id")
         self.preferred_role = Role.coerce(preferred_role).value if preferred_role else "trainer"
         self.default_aggregation = aggregation
         self.mqtt = MQTTClient(client_id)
         self.endpoint = FleetControlEndpoint(
-            self.mqtt, chunk_bytes=chunk_bytes, compression=compression
+            self.mqtt,
+            chunk_bytes=chunk_bytes,
+            compression=compression,
+            update_codec=update_codec,
         )
         self.arbiter = RoleArbiter(client_id)
         self.models = ModelController(client_id)
@@ -244,6 +254,11 @@ class SDFLMQClient:
             self.pump()
         else:
             self.mqtt.loop_until_empty()
+
+    @property
+    def update_codec(self) -> Optional[UpdateCodec]:
+        """The endpoint's update-compression codec (None when disabled)."""
+        return self.endpoint.update_codec
 
     # ------------------------------------------------------------ public API
 
@@ -607,8 +622,26 @@ class SDFLMQClient:
         # set_role lands, _reconcile_pending aggregates it — and if this
         # client is *not* promoted after all, the same hook forwards the
         # buffer to its actual parent, so nothing is stranded.
+        state = payload["state"]
+        if is_encoded_state(state):
+            codec = self.endpoint.update_codec
+            if codec is None:
+                raise SDFLMQError(
+                    f"client {self.client_id!r} received a "
+                    f"{state.get(CODEC_WIRE_KEY)!r}-encoded update but has no "
+                    "update codec installed; the fleet's update_codec settings "
+                    "are inconsistent"
+                )
+            state = codec.decode_state(session_id, state)
+            tracer = self.endpoint.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "update-decode",
+                    "codec",
+                    args={"endpoint": self.client_id, "codec": codec.spec},
+                )
         contribution = ModelContribution(
-            state=payload["state"],
+            state=state,
             weight=float(payload.get("weight", 1.0)),
             sender_id=str(payload.get("sender", "?")),
             round_index=int(payload.get("round_index", 0)),
@@ -672,6 +705,22 @@ class SDFLMQClient:
     def _publish_contribution(
         self, session_id: str, parent_id: str, contribution: ModelContribution
     ) -> None:
+        state: object = contribution.state
+        codec = self.endpoint.update_codec
+        if codec is not None:
+            saved_before = codec.stats.bytes_saved
+            state = codec.encode_state(session_id, contribution.state)
+            tracer = self.endpoint.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "update-encode",
+                    "codec",
+                    args={
+                        "endpoint": self.client_id,
+                        "codec": codec.spec,
+                        "saved_bytes": codec.stats.bytes_saved - saved_before,
+                    },
+                )
         self.endpoint.call_topic(
             aggregator_params_topic(session_id, parent_id),
             "receive_model",
@@ -681,7 +730,7 @@ class SDFLMQClient:
                 "round_index": contribution.round_index,
                 "weight": contribution.weight,
                 "epoch": contribution.epoch,
-                "state": contribution.state,
+                "state": state,
             },
             expect_response=False,
         )
@@ -707,9 +756,15 @@ class SDFLMQClient:
     # ----------------------------------------------------------- global model
 
     def _handle_apply_global(self, session_id: str, payload: dict) -> None:
+        round_index = int(payload.get("round_index", 0))
+        codec = self.endpoint.update_codec
+        if codec is not None:
+            # Capture the broadcast global as the delta reference *before* the
+            # has-a-model gate: aggregator-only clients must keep decoding
+            # their children's delta-encoded contributions.
+            codec.observe_global(session_id, payload["state"], round_index)
         if not self.models.has_model(session_id):
             return  # e.g. an aggregator-only client with no local model registered
-        round_index = int(payload.get("round_index", 0))
         self.models.apply_global(session_id, payload["state"], round_index)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

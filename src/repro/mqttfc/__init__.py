@@ -11,6 +11,9 @@ This package provides:
 * :mod:`repro.mqttfc.serialization` — a pickle-free binary codec for nested
   Python structures containing numpy arrays (model state dicts travel as raw
   contiguous buffers, never as pickled objects);
+* :mod:`repro.mqttfc.codecs` — pluggable update-compression codecs
+  (fp16/int8 quantization, top-k sparsification, exact delta encoding)
+  applied to model state dicts before the frame codec;
 * :mod:`repro.mqttfc.compression` — optional zlib compression with a
   self-describing header;
 * :mod:`repro.mqttfc.batching` — chunking of large payloads into fixed-size
@@ -26,6 +29,15 @@ from repro.mqttfc.serialization import (
     encode_payload,
     encode_payload_frame,
     payload_size,
+)
+from repro.mqttfc.codecs import (
+    CodecError,
+    CodecStats,
+    UpdateCodec,
+    available_codecs,
+    is_encoded_state,
+    make_update_codec,
+    parse_codec_spec,
 )
 from repro.mqttfc.compression import compress_payload, decompress_payload, CompressionConfig
 from repro.mqttfc.batching import BatchEncoder, BatchAssembler, BatchChunk, BatchReassemblyError
@@ -44,6 +56,13 @@ __all__ = [
     "encode_payload_frame",
     "decode_payload",
     "payload_size",
+    "CodecError",
+    "CodecStats",
+    "UpdateCodec",
+    "available_codecs",
+    "is_encoded_state",
+    "make_update_codec",
+    "parse_codec_spec",
     "compress_payload",
     "decompress_payload",
     "CompressionConfig",

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.mqtt.client import MQTTClient
 from repro.mqtt.messages import MQTTMessage, QoS
 from repro.mqttfc.batching import BatchAssembler, BatchEncoder, DEFAULT_CHUNK_BYTES
+from repro.mqttfc.codecs import CodecStats, UpdateCodec, make_update_codec
 from repro.mqttfc.compression import CompressionConfig, compress_frame, decompress_payload
 from repro.mqttfc.serialization import decode_payload, encode_payload_frame
 from repro.utils.identifiers import validate_identifier
@@ -145,6 +146,11 @@ class FleetControlEndpoint:
     qos:
         QoS used for all MQTTFC traffic (the reproduction defaults to QoS 1,
         matching SDFLMQ's need for at-least-once delivery of model parameters).
+    update_codec:
+        Optional update-compression codec (a spec string like ``"int8"`` or
+        ``"delta+int8"``, or a prebuilt :class:`~repro.mqttfc.codecs.UpdateCodec`)
+        applied to model update payloads by the FL client before the frame
+        codec.  ``None``/``"none"`` ships full-precision states unchanged.
     """
 
     def __init__(
@@ -153,11 +159,17 @@ class FleetControlEndpoint:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         compression: Optional[CompressionConfig] = None,
         qos: QoS | int = QoS.AT_LEAST_ONCE,
+        update_codec: "Optional[str | UpdateCodec]" = None,
     ) -> None:
         self.client = client
         self.client_id = client.client_id
         self.qos = QoS.coerce(qos)
         self.compression = compression or CompressionConfig()
+        self.update_codec: Optional[UpdateCodec] = (
+            make_update_codec(update_codec)
+            if update_codec is None or isinstance(update_codec, str)
+            else update_codec
+        )
         self._encoder = BatchEncoder(chunk_bytes=chunk_bytes)
         self._assembler = BatchAssembler()
         self._functions: Dict[str, Callable[..., Any]] = {}
@@ -294,6 +306,20 @@ class FleetControlEndpoint:
     def pending_calls(self) -> int:
         """Number of calls still awaiting a response."""
         return sum(1 for call in self._pending.values() if not call.done)
+
+    def reset_stats(self) -> None:
+        """Zero every counter this endpoint owns (RFC *and* codec counters).
+
+        Mirrors the broker's cache-counter reset fix: counters that live
+        outside the main stats object (here, the update codec's) used to be
+        the ones that drift across endpoint reuse, so the codec's
+        :class:`~repro.mqttfc.codecs.CodecStats` is replaced too.  The codec
+        keeps its scratch buffers and delta references — only the accounting
+        restarts.
+        """
+        self.stats = EndpointStats()
+        if self.update_codec is not None:
+            self.update_codec.stats = CodecStats()
 
     # -------------------------------------------------------------- transport
 

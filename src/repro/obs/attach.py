@@ -62,6 +62,16 @@ _ENDPOINT_STATS_FIELDS = (
     "errors_returned",
 )
 
+_CODEC_STATS_FIELDS = (
+    "updates_encoded",
+    "updates_decoded",
+    "tensors_encoded",
+    "bytes_in",
+    "bytes_out",
+    "bytes_saved",
+    "escape_values",
+)
+
 
 def _endpoints(experiment: Any):
     for client in experiment.clients:
@@ -133,6 +143,20 @@ def attach_experiment_metrics(
         for field in _ENDPOINT_STATS_FIELDS:
             reg.gauge(f"endpoint_{field}").set(
                 sum(getattr(e.stats, field) for e in _endpoints(experiment))
+            )
+
+        # Update-codec counters (all zero when no codec is configured, so the
+        # metrics schema stays stable across scenarios).
+        codecs = [
+            codec
+            for codec in (
+                getattr(e, "update_codec", None) for e in _endpoints(experiment)
+            )
+            if codec is not None
+        ]
+        for field in _CODEC_STATS_FIELDS:
+            reg.gauge(f"codec_{field}").set(
+                sum(getattr(codec.stats, field) for codec in codecs)
             )
 
         buffered_bytes = buffered_pending = 0

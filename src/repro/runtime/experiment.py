@@ -97,6 +97,9 @@ class ExperimentConfig:
     compression_enabled: bool = True
     chunk_bytes: int = 256 * 1024
     num_regions: int = 1
+    #: Update-compression codec for contributions on the wire ("none",
+    #: "fp16", "int8", "topk[=d]", "delta", or composed e.g. "delta+int8").
+    update_codec: str = "none"
     # Behaviour
     train_for_real: bool = True
     seed: int = 42
@@ -128,6 +131,9 @@ class ExperimentConfig:
             raise ValueError(f"unknown clustering policy {self.clustering_policy!r}")
         require_in_range(self.memory_pressure, "memory_pressure", 0.0, 1.0)
         require_positive(self.num_regions, "num_regions")
+        from repro.mqttfc.codecs import parse_codec_spec
+
+        parse_codec_spec(self.update_codec)  # raises CodecError on bad specs
         require_positive(self.proximal_mu, "proximal_mu", strict=False)
         if self.device_memory_override_bytes is not None:
             require_positive(self.device_memory_override_bytes, "device_memory_override_bytes")
@@ -409,6 +415,7 @@ class FLExperiment:
                 stats_provider=(lambda cid=client_id: self.fleet.stats(cid)),
                 resources=self.resources,
                 pump=self.pump.run_until_idle,
+                update_codec=config.update_codec,
             )
             client.on_role_assigned = self._client_role_assigned
             self.clients.append(client)

@@ -52,6 +52,7 @@ def build_experiment_config(spec: ScenarioSpec) -> ExperimentConfig:
         tier_mix=dict(fleet.tier_mix) if fleet.tier_mix is not None else None,
         memory_pressure=fleet.memory_pressure,
         compression_enabled=training.compression_enabled,
+        update_codec=training.update_codec,
         num_regions=topology.regions,
         train_for_real=training.train_for_real,
         seed=spec.seed,

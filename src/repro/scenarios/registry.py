@@ -19,6 +19,7 @@ JSON via ``ScenarioSpec.from_dict``) straight to the runner.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, List
 
 from repro.scenarios.spec import (
@@ -168,6 +169,23 @@ def _degraded_wan() -> ScenarioSpec:
     )
 
 
+def _degraded_wan_int8() -> ScenarioSpec:
+    """degraded-wan with int8-quantized updates: the bytes-vs-accuracy probe.
+
+    Identical WAN conditions and fault plan to ``degraded-wan``; the only
+    change is the update codec, so diffing the two scenarios' reports
+    isolates what 8-bit quantization buys (wire bytes, ``messaging_s``) and
+    costs (accuracy) under degraded transport.
+    """
+    base = _degraded_wan()
+    return dataclasses.replace(
+        base,
+        name="degraded-wan-int8",
+        description="degraded-wan with int8-quantized update wire (bytes vs accuracy)",
+        training=dataclasses.replace(base.training, update_codec="int8"),
+    )
+
+
 def _bridged_multi_region() -> ScenarioSpec:
     return ScenarioSpec(
         name="bridged-multi-region",
@@ -242,6 +260,7 @@ for _builder in (
     _heavy_churn,
     _straggler_heavy,
     _degraded_wan,
+    _degraded_wan_int8,
     _bridged_multi_region,
     _flash_crowd,
     _round2_blackout,

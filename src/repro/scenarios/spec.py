@@ -232,6 +232,10 @@ class TrainingSpec:
     aggregation: str = "fedavg"
     train_for_real: bool = True
     compression_enabled: bool = True
+    #: Update-compression codec for model contributions on the wire:
+    #: ``"none"`` (full precision), ``"fp16"``, ``"int8"``, ``"topk[=d]"``,
+    #: ``"delta"``, or a ``+``-composed pipeline such as ``"delta+int8"``.
+    update_codec: str = "none"
     #: Simulated seconds each round may spend on messaging before late
     #: uploads are cut off.  Scenarios default to deadline-driven rounds so
     #: that timed churn/fault actions fire at their exact simulated times
@@ -251,6 +255,12 @@ class TrainingSpec:
         )
         if self.round_deadline_s is not None:
             _require(self.round_deadline_s > 0, "round_deadline_s must be positive")
+        from repro.mqttfc.codecs import CodecError, parse_codec_spec
+
+        try:
+            parse_codec_spec(self.update_codec)
+        except CodecError as exc:
+            _require(False, f"invalid update_codec: {exc}")
 
 
 @dataclass(frozen=True)

@@ -425,5 +425,20 @@ def _wan_fleet_size() -> SweepSpec:
     )
 
 
-for _builder in (_deadline_tier_mix, _wan_fleet_size):
+def _codec_compare() -> SweepSpec:
+    return SweepSpec(
+        name="codec-compare",
+        description="update codec sweep: bytes on the wire vs final accuracy per codec",
+        base=_fast_base("codec-compare-base"),
+        axes=(
+            AxisSpec(
+                "training.update_codec",
+                ("none", "fp16", "int8", "topk", "delta+int8"),
+            ),
+            AxisSpec("seed", (42, 47, 52)),
+        ),
+    )
+
+
+for _builder in (_deadline_tier_mix, _wan_fleet_size, _codec_compare):
     register_grid(_builder)

@@ -26,6 +26,8 @@ def _metrics(**overrides):
         "scheduler_deliveries_per_s": 100_000.0,
         "codec_encode_mb_per_s": 10_000.0,
         "codec_decode_mb_per_s": 400_000.0,
+        "update_codec_encode_mb_per_s": 2_000.0,
+        "update_codec_decode_mb_per_s": 3_000.0,
         "aggregation_contributions": 24,
         "aggregation_params": 1_000_064,
         "aggregation_reduce_s": 0.05,
@@ -79,6 +81,14 @@ def test_scheduler_regression_fails(tmp_path, baseline, capsys):
 def test_codec_regression_fails(tmp_path, baseline):
     fresh = _doc(tmp_path / "fresh.json", _metrics(codec_encode_mb_per_s=1_000.0))
     assert bench.check_regression(baseline, fresh_path=fresh) == 1
+
+
+def test_update_codec_gate_catches_regressions(tmp_path, baseline):
+    # -50% passes the 60% tolerance; -70% fails it.
+    fine = _doc(tmp_path / "fine.json", _metrics(update_codec_encode_mb_per_s=1_000.0))
+    assert bench.check_regression(baseline, fresh_path=fine) == 0
+    slow = _doc(tmp_path / "slow.json", _metrics(update_codec_decode_mb_per_s=900.0))
+    assert bench.check_regression(baseline, fresh_path=slow) == 1
 
 
 def test_obs_overhead_gate_is_tight(tmp_path, baseline, capsys):
@@ -156,6 +166,6 @@ def test_global_tolerance_overrides_every_gate(tmp_path, baseline):
 
 
 def test_committed_baseline_has_every_gate_metric():
-    """The real BENCH_pr7.json must satisfy every gate against itself."""
-    baseline_path = os.path.join(REPO_ROOT, "BENCH_pr7.json")
+    """The real BENCH_pr8.json must satisfy every gate against itself."""
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_pr8.json")
     assert bench.check_regression(baseline_path, fresh_path=baseline_path) == 0

@@ -77,6 +77,13 @@ GATES = (
     (GATE_METRIC, lambda m: float(m[GATE_METRIC]), 0.20),
     ("codec_encode_mb_per_s", lambda m: float(m["codec_encode_mb_per_s"]), 0.50),
     ("codec_decode_mb_per_s", lambda m: float(m["codec_decode_mb_per_s"]), 0.90),
+    # The update codec (int8 quantization) is compute-bound, so its MB/s is
+    # largely payload-size independent — a moderate tolerance absorbs CI
+    # noise while still catching a scratch-reuse or vectorization loss.
+    ("update_codec_encode_mb_per_s",
+     lambda m: float(m["update_codec_encode_mb_per_s"]), 0.60),
+    ("update_codec_decode_mb_per_s",
+     lambda m: float(m["update_codec_decode_mb_per_s"]), 0.60),
     ("aggregation_throughput", _aggregation_throughput, 0.60),
     # Observability must stay near-free: the ratio of registry-attached to
     # detached scheduler throughput (interleaved best-of-N on the same
@@ -281,6 +288,38 @@ def bench_codec(payload_mb: int) -> Dict[str, float]:
     }
 
 
+def bench_update_codec(payload_mb: int) -> Dict[str, float]:
+    """Throughput of the int8 *update* codec on the shared workload state.
+
+    Measures the object-level quantization stage alone (scratch-arena warm,
+    as in steady-state rounds), on the raw ndarray bytes entering the
+    encoder — distinct from ``bench_codec``, which measures the frame
+    serializer downstream of it.
+    """
+    from repro.mqttfc.codecs import make_update_codec
+
+    state = build_codec_state(payload_mb)
+    size_mb = sum(array.nbytes for array in state.values()) / (1024 * 1024)
+    codec = make_update_codec("int8")
+    codec.encode_state("bench_session", state)  # warm the scratch arena
+
+    encode_s = min(
+        _timed(lambda: codec.encode_state("bench_session", state)) for _ in range(3)
+    )
+    encoded = codec.encode_state("bench_session", state)
+    decode_s = min(
+        _timed(lambda: codec.decode_state("bench_session", encoded)) for _ in range(3)
+    )
+    return {
+        "update_codec_payload_mb": size_mb,
+        "update_codec_encode_mb_per_s": size_mb / max(encode_s, 1e-9),
+        "update_codec_decode_mb_per_s": size_mb / max(decode_s, 1e-9),
+        "update_codec_wire_ratio": (
+            codec.stats.bytes_out / max(codec.stats.bytes_in, 1)
+        ),
+    }
+
+
 def bench_aggregation(num_contributions: int, params: int) -> Dict[str, float]:
     """Streaming FedAvg reduce time over ``num_contributions`` × ``params``."""
     from repro.core.aggregation import FedAvg
@@ -366,6 +405,8 @@ def run_benches(quick: bool, label: str = "adhoc") -> Dict[str, object]:
     metrics.update(bench_scheduler_best())
     print("• codec encode/decode ...", file=sys.stderr)
     metrics.update(bench_codec(payload_mb=2 if quick else 10))
+    print("• update codec (int8) encode/decode ...", file=sys.stderr)
+    metrics.update(bench_update_codec(payload_mb=2 if quick else 10))
     print("• streaming aggregation reduce ...", file=sys.stderr)
     metrics.update(
         bench_aggregation(
