@@ -13,10 +13,11 @@ is constant behaviour in the SDFLMQ choreography).
 
 from __future__ import annotations
 
-import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.mqtt.errors import (
     ClientIdInUseError,
@@ -29,7 +30,12 @@ from repro.mqtt.messages import (
     MQTTMessage,
     QoS,
 )
-from repro.mqtt.network import NetworkModel, TrafficLog, TrafficRecord
+from repro.mqtt.network import (
+    PACKET_OVERHEAD_BYTES,
+    NetworkModel,
+    TrafficLog,
+    TrafficRecord,
+)
 from repro.mqtt.topics import (
     TopicTrie,
     topic_matches_filter,
@@ -93,6 +99,265 @@ class _ClientSession:
     offline_queue: List[DeliveryRecord] = field(default_factory=list)
 
 
+#: Minimum fan-out width for the vectorized publish path.  Below this the
+#: per-publish numpy fixed costs exceed the per-member savings of the scalar
+#: loop, so small fan-outs (unicast request/reply traffic) stay scalar.
+_VECTOR_MIN_FANOUT = 8
+
+#: Cap on cached sender-excluded subplans per route plan (echo suppression
+#: when the publisher subscribes to its own topic).  Beyond this many distinct
+#: in-plan senders the publish falls back to the scalar loop rather than
+#: growing the cache without bound.
+_MAX_MINUS_PLANS = 8
+
+
+class _RoutePlan:
+    """Memoized fan-out plan for one concrete topic, plus lazy vector caches.
+
+    ``entries`` is the canonical ``[(client_id, granted QoS, matched filter)]``
+    list sorted by client id; iteration/len index straight into it, so every
+    scalar consumer sees exactly the old plain-list plan.  Everything else is
+    derived lazily and cached for the vectorized publish path, keyed to the
+    generation counter of whatever it was derived from:
+
+    * delivery targets — valid while ``broker._session_epoch`` is unchanged
+      (no connect/disconnect means the verified-connected set cannot change);
+    * per-receiver latency/bandwidth vectors and the jitter-free / loss-free
+      flags — valid while ``network.version`` is unchanged;
+    * per-publish-QoS effective-QoS lists, FIFO-clamp pair ids (interned in an
+      :class:`~repro.runtime.scheduler.EventScheduler`), traffic-log id
+      arrays, and sender-excluded subplans — valid for the plan's lifetime
+      (any subscription change builds a fresh plan).
+    """
+
+    __slots__ = (
+        "entries",
+        "_receiver_ids",
+        "_filters",
+        "_pos",
+        "_targets",
+        "_targets_epoch",
+        "_lat",
+        "_bw",
+        "_jitter_free",
+        "_loss_free",
+        "_net_version",
+        "_eqos",
+        "_fifo",
+        "_traffic",
+        "_traffic_senders",
+        "_minus",
+    )
+
+    def __init__(self, entries: List[Tuple[str, QoS, str]]) -> None:
+        self.entries = entries
+        self._receiver_ids: Optional[List[str]] = None
+        self._filters: Optional[List[str]] = None
+        self._pos: Optional[Dict[str, int]] = None
+        self._targets: Optional[List[DeliveryTarget]] = None
+        self._targets_epoch = -1
+        self._lat: Optional[np.ndarray] = None
+        self._bw: Optional[np.ndarray] = None
+        self._jitter_free = False
+        self._loss_free = False
+        self._net_version = -1
+        self._eqos: Dict[int, Tuple[List[int], bool, List[int]]] = {}
+        self._fifo: Dict[Tuple[int, Optional[str]], Tuple[int, np.ndarray, List[int]]] = {}
+        self._traffic: Optional[Tuple[TrafficLog, int, np.ndarray]] = None
+        self._traffic_senders: Dict[Optional[str], int] = {}
+        self._minus: Optional[Dict[str, "_RoutePlan"]] = None
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    @property
+    def receiver_ids(self) -> List[str]:
+        ids = self._receiver_ids
+        if ids is None:
+            ids = self._receiver_ids = [entry[0] for entry in self.entries]
+        return ids
+
+    @property
+    def filters(self) -> List[str]:
+        filters = self._filters
+        if filters is None:
+            filters = self._filters = [entry[2] for entry in self.entries]
+        return filters
+
+    def position(self, client_id: str) -> Optional[int]:
+        pos = self._pos
+        if pos is None:
+            pos = self._pos = {
+                entry[0]: index for index, entry in enumerate(self.entries)
+            }
+        return pos.get(client_id)
+
+    def minus_sender(self, sender_id: str) -> Optional["_RoutePlan"]:
+        """This plan with ``sender_id``'s entry removed (echo suppression)."""
+        minus = self._minus
+        if minus is None:
+            minus = self._minus = {}
+        sub = minus.get(sender_id)
+        if sub is None:
+            if len(minus) >= _MAX_MINUS_PLANS:
+                return None
+            sub = _RoutePlan(
+                [entry for entry in self.entries if entry[0] != sender_id]
+            )
+            minus[sender_id] = sub
+        return sub
+
+    def targets(self, broker: "MQTTBroker") -> Optional[List[DeliveryTarget]]:
+        """Live targets per entry; ``None`` unless every receiver is connected.
+
+        Cached per broker session epoch: with no connect/disconnect since the
+        last check, the verified result cannot have changed.
+        """
+        if self._targets_epoch == broker._session_epoch:
+            return self._targets
+        sessions = broker._sessions
+        targets: Optional[List[DeliveryTarget]] = []
+        for client_id, _sub_qos, _matched in self.entries:
+            session = sessions.get(client_id)
+            if session is None or not session.connected or session.target is None:
+                targets = None
+                break
+            targets.append(session.target)
+        self._targets = targets
+        self._targets_epoch = broker._session_epoch
+        return targets
+
+    def link_vectors(
+        self, network: NetworkModel
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], bool, bool]:
+        """Per-receiver (latency, bandwidth) vectors + jitter/loss-free flags."""
+        if self._net_version != network.version:
+            profiles = [network.link_for(cid) for cid in self.receiver_ids]
+            self._lat = np.array([p.latency_s for p in profiles], dtype=np.float64)
+            self._bw = np.array(
+                [p.bandwidth_bps for p in profiles], dtype=np.float64
+            )
+            self._jitter_free = all(p.jitter_s == 0.0 for p in profiles)
+            self._loss_free = all(p.loss_rate <= 0.0 for p in profiles)
+            self._net_version = network.version
+        return self._lat, self._bw, self._jitter_free, self._loss_free
+
+    def effective_qos(
+        self, publish_qos: QoS
+    ) -> Tuple[List[int], bool, List[int]]:
+        """``(per-member effective QoS, any-QoS0, per-member handshake packets)``."""
+        key = int(publish_qos)
+        cached = self._eqos.get(key)
+        if cached is None:
+            eqos = [
+                key if key <= sub_qos else int(sub_qos)
+                for _cid, sub_qos, _matched in self.entries
+            ]
+            handshakes = [QOS_HANDSHAKE_PACKETS[q] for q in eqos]
+            cached = self._eqos[key] = (eqos, 0 in eqos, handshakes)
+        return cached
+
+    def fifo_ids(
+        self, scheduler: "EventScheduler", sender_id: Optional[str]
+    ) -> Tuple[int, np.ndarray, List[int]]:
+        """Interned (sender id, FIFO pair slots, receiver ids) in ``scheduler``."""
+        key = (id(scheduler), sender_id)
+        cached = self._fifo.get(key)
+        if cached is None:
+            sender_idx, _receiver_arr, pair_arr, receiver_list = scheduler.intern_fanout(
+                sender_id, self.receiver_ids
+            )
+            cached = self._fifo[key] = (sender_idx, pair_arr, receiver_list)
+        return cached
+
+    def traffic_ids(
+        self, traffic: TrafficLog, topic: str, sender_id: Optional[str]
+    ) -> Tuple[int, int, np.ndarray]:
+        """Interned (sender, topic, receivers) ids in ``traffic``'s id space."""
+        cached = self._traffic
+        if cached is None or cached[0] is not traffic:
+            cached = self._traffic = (
+                traffic,
+                traffic.intern(topic),
+                traffic.intern_many(self.receiver_ids),
+            )
+            self._traffic_senders.clear()
+        sender_idx = self._traffic_senders.get(sender_id)
+        if sender_idx is None:
+            sender_idx = self._traffic_senders[sender_id] = traffic.intern(
+                sender_id or "?"
+            )
+        return sender_idx, cached[1], cached[2]
+
+
+class _FanoutDeliveries(Sequence[DeliveryRecord]):
+    """Lazy ``publish()`` result for a vectorized fan-out.
+
+    The hot path creates no :class:`DeliveryRecord` objects; callers that do
+    inspect the result (tests, the simulation layer) get records materialized
+    on demand from the plan entries plus the scheduler's clamped times.  Each
+    access builds a fresh snapshot — the in-flight state itself lives in the
+    scheduler's columns.
+    """
+
+    __slots__ = ("_message", "_entries", "_eqos", "_deliver_at", "_unclamped", "_seq0")
+
+    def __init__(
+        self,
+        message: MQTTMessage,
+        entries: List[Tuple[str, QoS, str]],
+        eqos: List[int],
+        deliver_at: np.ndarray,
+        unclamped: Optional[np.ndarray],
+        seq0: int,
+    ) -> None:
+        self._message = message
+        self._entries = entries
+        self._eqos = eqos
+        self._deliver_at = deliver_at
+        self._unclamped = unclamped
+        self._seq0 = seq0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _materialize(self, index: int) -> DeliveryRecord:
+        unclamped: Optional[float] = None
+        if self._unclamped is not None:
+            value = self._unclamped[index]
+            if value == value:  # not NaN
+                unclamped = float(value)
+        client_id, _sub_qos, matched_filter = self._entries[index]
+        return DeliveryRecord(
+            message=self._message,
+            subscriber_id=client_id,
+            subscription_filter=matched_filter,
+            effective_qos=QoS(self._eqos[index]),
+            deliver_at=float(self._deliver_at[index]),
+            sequence=self._seq0 + index,
+            unclamped_deliver_at=unclamped,
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._materialize(i) for i in range(*index.indices(len(self._entries)))]
+        if index < 0:
+            index += len(self._entries)
+        if not 0 <= index < len(self._entries):
+            raise IndexError(index)
+        return self._materialize(index)
+
+    def __iter__(self):
+        for index in range(len(self._entries)):
+            yield self._materialize(index)
+
+
 class MQTTBroker:
     """An MQTT 3.1.1-style broker running inside the simulation process.
 
@@ -143,12 +408,13 @@ class MQTTBroker:
         # misses and re-read never — disable it rather than carry two caches
         # with duplicated invalidation.
         self._subscriptions: TopicTrie[Tuple[str, QoS]] = TopicTrie(match_cache_size=0)
-        # Memoized routing plans: concrete topic -> [(client_id, granted QoS,
-        # matched filter)], sorted by client id.  Fan-out resolves the
-        # subscriber set, the per-client max-QoS collapse and the matched
-        # filter once per topic between subscription changes instead of once
-        # per publish (LRU-bounded like the trie's match cache).
-        self._route_cache: "OrderedDict[str, List[Tuple[str, QoS, str]]]" = OrderedDict()
+        # Memoized routing plans: concrete topic -> _RoutePlan wrapping
+        # [(client_id, granted QoS, matched filter)], sorted by client id.
+        # Fan-out resolves the subscriber set, the per-client max-QoS collapse
+        # and the matched filter once per topic between subscription changes
+        # instead of once per publish (LRU-bounded like the trie's match
+        # cache); the plan object also carries the vectorized-path caches.
+        self._route_cache: "OrderedDict[str, _RoutePlan]" = OrderedDict()
         self._route_cache_size = 4096
         self.route_cache_hits = 0
         self.route_cache_misses = 0
@@ -156,8 +422,13 @@ class MQTTBroker:
         self._bridges: List["BrokerBridge"] = []
         # LRU-ordered dedup keys; values are unused (OrderedDict as ring set).
         self._seen_bridge_messages: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
-        self._message_ids = itertools.count(1)
-        self._delivery_sequence = itertools.count(1)
+        self._next_message_id = 1
+        self._next_sequence = 1
+        #: Bumped on every connect/disconnect.  Plans cache their verified
+        #: delivery-target lists against it, and in-flight fan-out batches use
+        #: it to skip the per-member connected check when no session changed
+        #: between routing and delivery.
+        self._session_epoch = 0
         self.scheduler: Optional["EventScheduler"] = None
         self.stats = BrokerStats()
         self.traffic = TrafficLog()
@@ -205,6 +476,7 @@ class MQTTBroker:
         session.clean_session = clean_session
         session.target = target
         session.will = will
+        self._session_epoch += 1
         self.stats.connects += 1
 
         if resumed:
@@ -228,6 +500,7 @@ class MQTTBroker:
         session.connected = False
         session.target = None
         session.will = None
+        self._session_epoch += 1
         self.stats.disconnects += 1
         if session.clean_session:
             self._drop_subscriptions(session)
@@ -311,12 +584,16 @@ class MQTTBroker:
 
     # ---------------------------------------------------------------- publish
 
-    def publish(self, message: MQTTMessage, _from_bridge: bool = False) -> List[DeliveryRecord]:
+    def publish(
+        self, message: MQTTMessage, _from_bridge: bool = False
+    ) -> Sequence[DeliveryRecord]:
         """Route a message to all matching subscribers.
 
-        Returns the list of delivery records created (one per receiving
+        Returns a sequence of the delivery records created (one per receiving
         client), which tests and the simulation layer use to reason about
-        fan-out and delay.
+        fan-out and delay.  On the vectorized broadcast path the sequence is
+        lazy (:class:`_FanoutDeliveries`) — records materialize only if the
+        caller actually looks at them.
         """
         validate_topic(message.topic)
         size = message.size_bytes
@@ -329,7 +606,8 @@ class MQTTBroker:
         if message.origin_broker is None:
             message.origin_broker = self.name
         if message.message_id < 0:
-            message.message_id = next(self._message_ids)
+            message.message_id = self._next_message_id
+            self._next_message_id += 1
         if message.timestamp == 0.0:
             message.timestamp = self.now()
 
@@ -364,10 +642,20 @@ class MQTTBroker:
             if sender_link.jitter_s == 0.0:
                 base_time = sender_link.transfer_time(size) + network.broker_processing_time(size)
 
-        deliveries: List[DeliveryRecord] = []
+        plan = self._route_plan(message.topic)
         sender_id = message.sender_id if self._suppress_echo else None
+        if self.scheduler is not None and len(plan.entries) >= _VECTOR_MIN_FANOUT:
+            fast = self._publish_vector(message, plan, sender_id, size, base_time)
+            if fast is not None:
+                for bridge in self._bridges:
+                    forwarded = bridge.on_local_publish(self, message)
+                    if forwarded:
+                        self.stats.bridged_out += forwarded
+                return fast
+
+        deliveries: List[DeliveryRecord] = []
         sessions = self._sessions
-        for client_id, sub_qos, matched_filter in self._route_plan(message.topic):
+        for client_id, sub_qos, matched_filter in plan.entries:
             if client_id == sender_id:
                 continue
             session = sessions.get(client_id)
@@ -397,6 +685,104 @@ class MQTTBroker:
 
         return deliveries
 
+    def _publish_vector(
+        self,
+        message: MQTTMessage,
+        plan: _RoutePlan,
+        sender_id: Optional[str],
+        size: int,
+        base_time: Optional[float],
+    ) -> Optional[_FanoutDeliveries]:
+        """Route one broadcast fan-out as a single vectorized batch.
+
+        Returns ``None`` when the fan-out cannot take the fast path, in which
+        case the caller runs the scalar loop with **no state consumed** —
+        every guard below is checked before the first side effect.  The path
+        is safe only when it is bit-for-bit and draw-for-draw equivalent to
+        the scalar loop:
+
+        * every receiver is connected (no offline-queue / drop branches),
+        * the sender-side delay was hoisted (``base_time``) and every receiver
+          link is jitter-free — otherwise the scalar loop would consume RNG
+          draws whose order is part of the determinism contract,
+        * no member can be lossy-dropped (QoS-0 members only on loss-free
+          links) — same RNG argument, plus drops would perforate the
+          consecutive sequence-number block the batch reserves.
+
+        The per-member delay math performs the exact same float operations in
+        the same order as ``LinkProfile.transfer_time`` + the scalar hoist, so
+        the resulting ``deliver_at`` values are IEEE-identical.
+        """
+        if sender_id is not None and plan.position(sender_id) is not None:
+            plan = plan.minus_sender(sender_id)
+            if plan is None or len(plan.entries) < _VECTOR_MIN_FANOUT:
+                return None
+        targets = plan.targets(self)
+        if targets is None:
+            return None
+        n = len(plan.entries)
+        eqos, has_qos0, handshakes = plan.effective_qos(message.qos)
+        network = self.network
+        timestamp = message.timestamp
+        if network is None:
+            transfer_times: List[float] = [0.0] * n
+            deliver_at = np.full(n, timestamp, dtype=np.float64)
+        else:
+            if base_time is None:
+                return None  # jittery sender link: per-member RNG draws
+            latency, bandwidth, jitter_free, loss_free = plan.link_vectors(network)
+            if not jitter_free:
+                return None
+            if has_qos0 and not loss_free:
+                return None
+            # Same op order per element as transfer_time + the publish hoist:
+            # downlink = latency + size/bandwidth; deliver_at =
+            # timestamp + (base_time + downlink).
+            downlink = latency + (size + PACKET_OVERHEAD_BYTES) / bandwidth
+            transfer = base_time + downlink
+            deliver_at = timestamp + transfer
+            transfer_times = transfer.tolist()
+
+        seq0 = self._next_sequence
+        self._next_sequence = seq0 + n
+        stats = self.stats
+        stats.messages_delivered += n
+        stats.bytes_delivered += size * n
+        traffic = self.traffic
+        sender_idx_t, topic_idx_t, receiver_idx_t = plan.traffic_ids(
+            traffic, message.topic, message.sender_id
+        )
+        traffic.add_batch(
+            topic=message.topic,
+            sender_id=message.sender_id or "?",
+            receiver_ids=plan.receiver_ids,
+            receiver_idx=receiver_idx_t,
+            sender_idx=sender_idx_t,
+            topic_idx=topic_idx_t,
+            payload_bytes=size,
+            qos=eqos,
+            transfer_times=transfer_times,
+            handshake_packets=handshakes,
+            timestamp=timestamp,
+            broker=self.name,
+        )
+        scheduler = self.scheduler
+        sender_idx, pair_ids, receiver_idx = plan.fifo_ids(scheduler, message.sender_id)
+        effective, unclamped = scheduler.schedule_batch(
+            self,
+            message,
+            targets,
+            plan.filters,
+            pair_ids,
+            receiver_idx,
+            eqos,
+            deliver_at,
+            seq0,
+            sender_idx,
+            self._session_epoch,
+        )
+        return _FanoutDeliveries(message, plan.entries, eqos, effective, unclamped, seq0)
+
     def _invalidate_routes(self, topic_filter: str) -> None:
         """Drop cached route plans whose topic the changed filter matches.
 
@@ -413,7 +799,7 @@ class MQTTBroker:
         for topic in stale:
             del self._route_cache[topic]
 
-    def _route_plan(self, topic: str) -> List[Tuple[str, QoS, str]]:
+    def _route_plan(self, topic: str) -> _RoutePlan:
         """The memoized fan-out plan for a concrete topic.
 
         A client holding several overlapping filters that match this topic
@@ -434,14 +820,15 @@ class MQTTBroker:
             granted = best_qos.get(client_id)
             if granted is None or sub_qos > granted:
                 best_qos[client_id] = sub_qos
-        plan = []
+        entries: List[Tuple[str, QoS, str]] = []
         for client_id in sorted(best_qos):
             sub_qos = best_qos[client_id]
             session = self._sessions.get(client_id)
             matched_filter = (
                 self._matched_filter(session, topic, sub_qos) if session is not None else topic
             )
-            plan.append((client_id, sub_qos, matched_filter))
+            entries.append((client_id, sub_qos, matched_filter))
+        plan = _RoutePlan(entries)
         self._route_cache[topic] = plan
         if len(self._route_cache) > self._route_cache_size:
             self._route_cache.popitem(last=False)
@@ -498,13 +885,15 @@ class MQTTBroker:
             else:
                 transfer_time = network.end_to_end_time(message.sender_id, client_id, size)
         deliver_at = (message.timestamp if not retained_replay else self.now()) + transfer_time
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
         record = DeliveryRecord(
             message=message,
             subscriber_id=client_id,
             subscription_filter=topic_filter,
             effective_qos=effective_qos,
             deliver_at=deliver_at,
-            sequence=next(self._delivery_sequence),
+            sequence=sequence,
         )
         self.traffic.add(
             TrafficRecord(

@@ -236,9 +236,14 @@ class MQTTClient:
         )
 
     def _dispatch(self, record: DeliveryRecord) -> bool:
-        message = record.message
+        return self._dispatch_message(record.message, record.effective_qos)
+
+    def _dispatch_message(self, message: MQTTMessage, effective_qos: int) -> bool:
+        # Hot-path entry used by the columnar event scheduler: everything the
+        # client needs is the shared message plus the effective QoS, so no
+        # DeliveryRecord is materialized per delivery.
         # QoS 2: exactly-once — drop duplicates keyed by (origin broker, id).
-        if record.effective_qos == QoS.EXACTLY_ONCE:
+        if effective_qos == QoS.EXACTLY_ONCE:
             key = (message.origin_broker or "", message.message_id)
             if key in self._delivered_qos2:
                 return False

@@ -130,6 +130,16 @@ class DeliveryRecord:
     ``effective_qos`` is ``min(publish qos, subscription qos)`` per the MQTT
     specification.  ``deliver_at`` is the simulated time at which the message
     becomes visible to the subscriber (publish time + modelled network delay).
+
+    This class is the public *façade* over the scheduler's columnar hot
+    state: in flight, a delivery lives as one slot in the
+    :class:`~repro.runtime.columns.DeliveryColumns` struct-of-arrays (or as
+    one member of a fan-out batch entry), and a ``DeliveryRecord`` is only
+    materialized at the API boundary — ``pending_deliveries()``,
+    ``cancel_deliveries`` predicates, broker ``publish()`` results, offline
+    requeueing, and targets without the ``_dispatch_message`` fast path.
+    Materialized records are detached snapshots; mutating one does not write
+    back into the columns.
     """
 
     message: MQTTMessage

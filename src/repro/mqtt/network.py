@@ -13,10 +13,11 @@ delay figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.soa import StringTable, grow
 from repro.utils.validation import require_positive
 
 __all__ = ["LinkProfile", "NetworkModel", "TrafficRecord", "TrafficLog"]
@@ -89,73 +90,222 @@ class TrafficRecord:
         return self.payload_bytes + PACKET_OVERHEAD_BYTES * (1 + self.handshake_packets)
 
 
-class TrafficLog:
-    """Accumulates :class:`TrafficRecord` entries and summary statistics.
+class _TrafficBatch:
+    """One broadcast fan-out's traffic, stored once instead of ``n`` records.
 
-    The log keeps both the raw records (bounded by ``max_records``) and
-    streaming aggregates so that long experiments do not grow memory without
-    bound while still exposing exact totals.
+    ``count`` may be smaller than ``len(receiver_ids)`` when the log's
+    ``max_records`` retention cap truncated the batch; aggregates always cover
+    every member regardless.  Materializes :class:`TrafficRecord` façades
+    lazily for :meth:`TrafficLog.records` / iteration.
+    """
+
+    __slots__ = (
+        "topic",
+        "sender_id",
+        "receiver_ids",
+        "payload_bytes",
+        "qos",
+        "transfer_times",
+        "handshake_packets",
+        "timestamp",
+        "broker",
+        "count",
+    )
+
+    def __init__(
+        self,
+        topic: str,
+        sender_id: str,
+        receiver_ids: Sequence[str],
+        payload_bytes: int,
+        qos: Sequence[int],
+        transfer_times: Sequence[float],
+        handshake_packets: Sequence[int],
+        timestamp: float,
+        broker: str,
+        count: int,
+    ) -> None:
+        self.topic = topic
+        self.sender_id = sender_id
+        self.receiver_ids = receiver_ids
+        self.payload_bytes = payload_bytes
+        self.qos = qos
+        self.transfer_times = transfer_times
+        self.handshake_packets = handshake_packets
+        self.timestamp = timestamp
+        self.broker = broker
+        self.count = count
+
+    def materialize(self) -> Iterator[TrafficRecord]:
+        for i in range(self.count):
+            yield TrafficRecord(
+                topic=self.topic,
+                sender_id=self.sender_id,
+                receiver_id=self.receiver_ids[i],
+                payload_bytes=self.payload_bytes,
+                qos=self.qos[i],
+                transfer_time_s=self.transfer_times[i],
+                handshake_packets=self.handshake_packets[i],
+                timestamp=self.timestamp,
+                broker=self.broker,
+            )
+
+
+class TrafficLog:
+    """Accumulates per-hop traffic and summary statistics, column-first.
+
+    Identities are interned once (:class:`~repro.utils.soa.StringTable`) and
+    the per-receiver / per-sender / per-topic aggregates live in id-indexed
+    int64 arrays, so a whole broadcast fan-out is accounted with one
+    :meth:`add_batch` call (a vectorized scatter-add) instead of ``n`` dict
+    updates.  Raw records stay bounded by ``max_records`` (batches retained
+    compactly, rehydrated to :class:`TrafficRecord` on access) while the
+    aggregates remain exact over the full run.
+
+    The intern table survives :meth:`clear` — the broker caches interned id
+    arrays on its routing plans, and those must stay valid across
+    ``reset_stats()``; only the counters are zeroed.
     """
 
     def __init__(self, max_records: int = 200_000) -> None:
         require_positive(max_records, "max_records")
-        self._records: List[TrafficRecord] = []
+        self._chunks: List[object] = []  # TrafficRecord | _TrafficBatch
+        self._retained = 0
         self._max_records = int(max_records)
+        self._ids = StringTable()
+        self._receiver_bytes = np.zeros(256, dtype=np.int64)
+        self._sender_bytes = np.zeros(256, dtype=np.int64)
+        self._topic_messages = np.zeros(256, dtype=np.int64)
         self.total_messages = 0
         self.total_payload_bytes = 0
         self.total_transfer_time_s = 0.0
-        self.per_receiver_bytes: Dict[str, int] = {}
-        self.per_sender_bytes: Dict[str, int] = {}
-        self.per_topic_messages: Dict[str, int] = {}
+
+    def intern(self, value: Optional[str]) -> int:
+        """Intern an identity (sender/receiver/topic) into this log's id space.
+
+        The returned index stays valid forever (ids are never reused and the
+        counter columns only grow), so routing plans may cache it.
+        """
+        index = self._ids.intern(value)
+        if index >= len(self._receiver_bytes):
+            capacity = index + 1
+            self._receiver_bytes = grow(self._receiver_bytes, capacity, fill=0)
+            self._sender_bytes = grow(self._sender_bytes, capacity, fill=0)
+            self._topic_messages = grow(self._topic_messages, capacity, fill=0)
+        return index
+
+    def intern_many(self, values: Sequence[Optional[str]]) -> np.ndarray:
+        """Intern a sequence of identities; returns their ids as int64."""
+        intern = self.intern
+        return np.array([intern(v) for v in values], dtype=np.int64)
 
     def add(self, record: TrafficRecord) -> None:
-        """Record one delivery hop."""
-        records = self._records
-        if len(records) < self._max_records:
-            records.append(record)
+        """Record one delivery hop (the scalar path)."""
+        if self._retained < self._max_records:
+            self._chunks.append(record)
+            self._retained += 1
         payload_bytes = record.payload_bytes
         self.total_messages += 1
         self.total_payload_bytes += payload_bytes
         self.total_transfer_time_s += record.transfer_time_s
-        per_receiver = self.per_receiver_bytes
-        per_receiver[record.receiver_id] = per_receiver.get(record.receiver_id, 0) + payload_bytes
-        per_sender = self.per_sender_bytes
-        per_sender[record.sender_id] = per_sender.get(record.sender_id, 0) + payload_bytes
-        per_topic = self.per_topic_messages
-        per_topic[record.topic] = per_topic.get(record.topic, 0) + 1
+        self._receiver_bytes[self.intern(record.receiver_id)] += payload_bytes
+        self._sender_bytes[self.intern(record.sender_id)] += payload_bytes
+        self._topic_messages[self.intern(record.topic)] += 1
+
+    def add_batch(
+        self,
+        topic: str,
+        sender_id: str,
+        receiver_ids: Sequence[str],
+        receiver_idx: np.ndarray,
+        sender_idx: int,
+        topic_idx: int,
+        payload_bytes: int,
+        qos: Sequence[int],
+        transfer_times: Sequence[float],
+        handshake_packets: Sequence[int],
+        timestamp: float,
+        broker: str,
+    ) -> None:
+        """Record one whole fan-out (the broker's vectorized publish path).
+
+        ``receiver_idx``/``sender_idx``/``topic_idx`` are pre-interned ids
+        from *this* log (see :meth:`intern`); receivers within one fan-out
+        are unique (one route entry per subscriber), so the scatter-add below
+        never collapses duplicate indices.  ``transfer_times`` must be a
+        plain list — the transfer total is accumulated sequentially so the
+        float result is bit-identical to ``n`` scalar :meth:`add` calls.
+        """
+        n = len(receiver_ids)
+        self.total_messages += n
+        self.total_payload_bytes += payload_bytes * n
+        self.total_transfer_time_s = sum(transfer_times, self.total_transfer_time_s)
+        self._receiver_bytes[receiver_idx] += payload_bytes
+        self._sender_bytes[sender_idx] += payload_bytes * n
+        self._topic_messages[topic_idx] += n
+        room = self._max_records - self._retained
+        if room > 0:
+            keep = n if n <= room else room
+            self._chunks.append(
+                _TrafficBatch(
+                    topic,
+                    sender_id,
+                    receiver_ids,
+                    payload_bytes,
+                    qos,
+                    transfer_times,
+                    handshake_packets,
+                    timestamp,
+                    broker,
+                    keep,
+                )
+            )
+            self._retained += keep
 
     def __len__(self) -> int:
         return self.total_messages
 
     def __iter__(self) -> Iterator[TrafficRecord]:
-        return iter(self._records)
+        for chunk in self._chunks:
+            if type(chunk) is _TrafficBatch:
+                yield from chunk.materialize()
+            else:
+                yield chunk  # type: ignore[misc]
 
     @property
     def records(self) -> Tuple[TrafficRecord, ...]:
-        """The retained raw records (up to ``max_records``)."""
-        return tuple(self._records)
+        """The retained raw records (up to ``max_records``), materialized."""
+        return tuple(self)
 
     def bytes_received_by(self, client_id: str) -> int:
         """Total payload bytes delivered to ``client_id``."""
-        return self.per_receiver_bytes.get(client_id, 0)
+        index = self._ids.lookup(client_id)
+        return int(self._receiver_bytes[index]) if index is not None else 0
 
     def bytes_sent_by(self, client_id: str) -> int:
         """Total payload bytes published by ``client_id``."""
-        return self.per_sender_bytes.get(client_id, 0)
+        index = self._ids.lookup(client_id)
+        return int(self._sender_bytes[index]) if index is not None else 0
 
     def messages_on_topic(self, topic: str) -> int:
         """Number of deliveries on a concrete topic."""
-        return self.per_topic_messages.get(topic, 0)
+        index = self._ids.lookup(topic)
+        return int(self._topic_messages[index]) if index is not None else 0
 
     def clear(self) -> None:
-        """Drop all records and reset aggregates."""
-        self._records.clear()
+        """Drop all records and reset aggregates.
+
+        The intern table (and thus any cached :meth:`intern` index) survives;
+        only the counters are zeroed.
+        """
+        self._chunks.clear()
+        self._retained = 0
         self.total_messages = 0
         self.total_payload_bytes = 0
         self.total_transfer_time_s = 0.0
-        self.per_receiver_bytes.clear()
-        self.per_sender_bytes.clear()
-        self.per_topic_messages.clear()
+        self._receiver_bytes[:] = 0
+        self._sender_bytes[:] = 0
+        self._topic_messages[:] = 0
 
 
 class NetworkModel:
@@ -189,10 +339,15 @@ class NetworkModel:
         self._links: Dict[str, LinkProfile] = {}
         self._link_overrides: Dict[str, List[LinkProfile]] = {}
         self._rng = np.random.default_rng(seed)
+        #: Monotonic generation counter, bumped whenever any link assignment
+        #: changes.  Consumers that cache per-link derived state (the broker's
+        #: routing-plan latency/bandwidth vectors) key their caches on this.
+        self.version = 0
 
     def set_link(self, client_id: str, profile: LinkProfile) -> None:
         """Assign a link profile to a specific client id."""
         self._links[client_id] = profile
+        self.version += 1
 
     def link_for(self, client_id: Optional[str]) -> LinkProfile:
         """Return the link profile for ``client_id`` (default if unknown).
@@ -215,6 +370,7 @@ class NetworkModel:
         popped in reverse order of application.
         """
         self._link_overrides.setdefault(client_id, []).append(profile)
+        self.version += 1
 
     def pop_link_override(self, client_id: str, profile: Optional[LinkProfile] = None) -> bool:
         """Remove a link override; returns True if one existed.
@@ -238,6 +394,7 @@ class NetworkModel:
                 return False
         if not stack:
             del self._link_overrides[client_id]
+        self.version += 1
         return True
 
     def degraded_profile(
@@ -276,6 +433,7 @@ class NetworkModel:
         require_positive(factor, "factor")
         self.broker_processing_s_per_byte *= factor
         self.broker_processing_s_per_message *= factor
+        self.version += 1
 
     def broker_processing_time(self, payload_bytes: int) -> float:
         """Broker-side processing time for routing one message."""

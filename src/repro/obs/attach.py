@@ -99,7 +99,7 @@ def attach_experiment_metrics(
             reg.gauge(f"scheduler_{field}").set(getattr(scheduler, field))
         reg.gauge("scheduler_last_event_time_s").set(scheduler.last_event_time)
         reg.gauge("scheduler_pending_deliveries").set(
-            len(scheduler.pending_deliveries())
+            scheduler.pending_delivery_count
         )
 
         for broker in experiment.brokers:

@@ -24,6 +24,7 @@ import bench  # noqa: E402  (tools/bench.py, path-injected above)
 def _metrics(**overrides):
     metrics = {
         "scheduler_deliveries_per_s": 100_000.0,
+        "scheduler_12k_deliveries_per_s": 500_000.0,
         "codec_encode_mb_per_s": 10_000.0,
         "codec_decode_mb_per_s": 400_000.0,
         "update_codec_encode_mb_per_s": 2_000.0,
@@ -32,6 +33,7 @@ def _metrics(**overrides):
         "aggregation_params": 1_000_064,
         "aggregation_reduce_s": 0.05,
         "obs_overhead_ratio": 1.0,
+        "scheduler_rss_per_10k_clients_mb": 40.0,
     }
     metrics.update(overrides)
     return metrics
@@ -53,7 +55,7 @@ def test_identical_documents_pass(tmp_path, baseline, capsys):
     fresh = _doc(tmp_path / "fresh.json", _metrics())
     assert bench.check_regression(baseline, fresh_path=fresh) == 0
     out = capsys.readouterr().out
-    for name, _extract, _tol in bench.GATES:
+    for name, _extract, _tol, _direction in bench.GATES:
         assert f"{name}:" in out
         assert "OK" in out
 
@@ -132,6 +134,32 @@ def test_aggregation_throughput_normalizes_workload_size(tmp_path, baseline):
     assert bench.check_regression(baseline, fresh_path=slow) == 1
 
 
+def test_rss_gate_is_lower_is_better(tmp_path, baseline, capsys):
+    # Memory per extra 10k idle clients is a ceiling, not a floor: a big
+    # *drop* must pass, a rise beyond the 50% tolerance must fail.
+    leaner = _doc(
+        tmp_path / "leaner.json", _metrics(scheduler_rss_per_10k_clients_mb=5.0)
+    )
+    assert bench.check_regression(baseline, fresh_path=leaner) == 0
+    bloated = _doc(
+        tmp_path / "bloated.json", _metrics(scheduler_rss_per_10k_clients_mb=65.0)
+    )
+    assert bench.check_regression(baseline, fresh_path=bloated) == 1
+    assert "scheduler_rss_per_10k_clients_mb" in capsys.readouterr().out
+
+
+def test_12k_fanout_gate_catches_regressions(tmp_path, baseline):
+    # -20% passes the 25% tolerance; -40% fails it.
+    fine = _doc(
+        tmp_path / "fine.json", _metrics(scheduler_12k_deliveries_per_s=400_000.0)
+    )
+    assert bench.check_regression(baseline, fresh_path=fine) == 0
+    slow = _doc(
+        tmp_path / "slow.json", _metrics(scheduler_12k_deliveries_per_s=300_000.0)
+    )
+    assert bench.check_regression(baseline, fresh_path=slow) == 1
+
+
 def test_missing_baseline_metric_is_a_hard_error(tmp_path, capsys):
     metrics = _metrics()
     del metrics["aggregation_reduce_s"]
@@ -166,6 +194,6 @@ def test_global_tolerance_overrides_every_gate(tmp_path, baseline):
 
 
 def test_committed_baseline_has_every_gate_metric():
-    """The real BENCH_pr8.json must satisfy every gate against itself."""
-    baseline_path = os.path.join(REPO_ROOT, "BENCH_pr8.json")
+    """The real BENCH_pr9.json must satisfy every gate against itself."""
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_pr9.json")
     assert bench.check_regression(baseline_path, fresh_path=baseline_path) == 0

@@ -135,6 +135,30 @@ class TestBatchAssembler:
         assert result == payload
         assert assembler.duplicate_chunks == 1
 
+    def test_single_chunk_completion_is_zero_copy(self):
+        # A batch that fits in one chunk must come back as a view into the
+        # received wire payload — no gather copy on the receive path.
+        payload = bytes(np.arange(2048, dtype=np.uint8).tobytes())
+        chunks = BatchEncoder(chunk_bytes=1 << 20).split(payload)
+        assert len(chunks) == 1
+        wire = chunks[0].to_bytes()
+        out = BatchAssembler().add("s", memoryview(wire))
+        assert isinstance(out, memoryview)
+        assert np.shares_memory(
+            np.frombuffer(out, dtype=np.uint8), np.frombuffer(wire, dtype=np.uint8)
+        )
+        assert out == payload
+
+    def test_multi_chunk_completion_gathers_once_read_only(self):
+        chunks, payload = self._chunks()
+        assembler = BatchAssembler()
+        out = None
+        for chunk in chunks:
+            out = assembler.add("s", memoryview(chunk.to_bytes())) or out
+        assert isinstance(out, memoryview)
+        assert out.readonly
+        assert out == payload
+
     def test_interleaved_senders_kept_separate(self):
         chunks_a, payload_a = self._chunks(payload=b"A" * 300, batch_id="ba")
         chunks_b, payload_b = self._chunks(payload=b"B" * 300, batch_id="bb")

@@ -65,35 +65,59 @@ def _aggregation_throughput(metrics: Dict[str, float]) -> float:
     return work / max(float(metrics["aggregation_reduce_s"]), 1e-12)
 
 
-#: Regression gates: (reported name, extractor, default tolerance).  Every
-#: gated figure is higher-is-better; tolerances are the allowed fractional
-#: drop below the committed baseline.  They are calibrated for CI's
-#: quick-fresh vs full-baseline comparison: codec decode is zero-copy and
-#: latency-dominated, so its MB/s scales with payload size (quick's 2 MB
+#: Regression gates: (reported name, extractor, default tolerance,
+#: direction).  Direction is ``"higher"`` (throughput-like: the gate fails
+#: when the fresh figure drops more than ``tolerance`` below the baseline) or
+#: ``"lower"`` (cost-like, e.g. RSS: the gate fails when the fresh figure
+#: rises more than ``tolerance`` above it).  Tolerances are calibrated for
+#: CI's quick-fresh vs full-baseline comparison: codec decode is zero-copy
+#: and latency-dominated, so its MB/s scales with payload size (quick's 2 MB
 #: payload reads ~5× slower than the 10 MB baseline) — its generous
 #: tolerance still fails on the order-of-magnitude drop that reintroducing
 #: a payload copy causes.
 GATES = (
-    (GATE_METRIC, lambda m: float(m[GATE_METRIC]), 0.20),
-    ("codec_encode_mb_per_s", lambda m: float(m["codec_encode_mb_per_s"]), 0.50),
-    ("codec_decode_mb_per_s", lambda m: float(m["codec_decode_mb_per_s"]), 0.90),
+    (GATE_METRIC, lambda m: float(m[GATE_METRIC]), 0.20, "higher"),
+    # The 12k-client broadcast shape is the regime the columnar kernel
+    # targets; wider tolerance because the big fleet magnifies machine noise.
+    ("scheduler_12k_deliveries_per_s",
+     lambda m: float(m["scheduler_12k_deliveries_per_s"]), 0.25, "higher"),
+    ("codec_encode_mb_per_s", lambda m: float(m["codec_encode_mb_per_s"]), 0.50, "higher"),
+    ("codec_decode_mb_per_s", lambda m: float(m["codec_decode_mb_per_s"]), 0.90, "higher"),
     # The update codec (int8 quantization) is compute-bound, so its MB/s is
     # largely payload-size independent — a moderate tolerance absorbs CI
     # noise while still catching a scratch-reuse or vectorization loss.
     ("update_codec_encode_mb_per_s",
-     lambda m: float(m["update_codec_encode_mb_per_s"]), 0.60),
+     lambda m: float(m["update_codec_encode_mb_per_s"]), 0.60, "higher"),
     ("update_codec_decode_mb_per_s",
-     lambda m: float(m["update_codec_decode_mb_per_s"]), 0.60),
-    ("aggregation_throughput", _aggregation_throughput, 0.60),
+     lambda m: float(m["update_codec_decode_mb_per_s"]), 0.60, "higher"),
+    ("aggregation_throughput", _aggregation_throughput, 0.60, "higher"),
     # Observability must stay near-free: the ratio of registry-attached to
     # detached scheduler throughput (interleaved best-of-N on the same
     # process) is ~1.0 and may drop at most ~2% below the baseline's before
     # the gate fails.
-    ("obs_overhead_ratio", lambda m: float(m["obs_overhead_ratio"]), 0.02),
+    ("obs_overhead_ratio", lambda m: float(m["obs_overhead_ratio"]), 0.02, "higher"),
+    # Lower-is-better: marginal memory of +10k idle clients (subprocess
+    # probe).  The preallocated columns must keep this flat — a per-delivery
+    # or per-client allocation regression shows up here long before it OOMs
+    # a 100k-client scenario.  Python RSS deltas are allocator-noisy, hence
+    # the loose tolerance; a real per-client leak multiplies the figure.
+    ("scheduler_rss_per_10k_clients_mb",
+     lambda m: float(m["scheduler_rss_per_10k_clients_mb"]), 0.50, "lower"),
 )
 
 SCHEDULER_CLIENTS = 1_200
 SCHEDULER_BROADCASTS = 25
+
+#: The broadcast-heavy fleet shape the columnar kernel targets (satellite of
+#: ROADMAP item 1): every client subscribed to one shared command topic, so a
+#: publish is a single 12k-wide vectorized fan-out batch.
+SCHEDULER_12K_CLIENTS = 12_000
+SCHEDULER_12K_BROADCASTS = 6
+
+#: Idle-RSS probe shape: marginal memory of growing an already-built fleet by
+#: +10k subscribed-but-idle clients (measured in a fresh subprocess).
+IDLE_RSS_BASE_CLIENTS = 2_000
+IDLE_RSS_EXTRA_CLIENTS = 10_000
 
 
 # ----------------------------------------------------------------- workloads
@@ -193,6 +217,65 @@ def bench_scheduler(num_clients: int = SCHEDULER_CLIENTS,
         "scheduler_deliveries": delivered,
         "scheduler_wall_s": elapsed,
         GATE_METRIC: delivered / max(elapsed, 1e-9),
+    }
+
+
+def bench_scheduler_12k(num_clients: int = SCHEDULER_12K_CLIENTS,
+                        num_broadcasts: int = SCHEDULER_12K_BROADCASTS,
+                        rounds: int = 2) -> Dict[str, float]:
+    """Broadcast throughput on the 12k-client single-topic fan-out shape.
+
+    Unlike :func:`bench_scheduler` (two subscriptions per client, unicast
+    pings interleaved), every client here holds exactly one subscription to
+    the shared command topic — each publish is one 12k-wide fan-out, the
+    regime the columnar batch path targets.  Setup is untimed; best-of-
+    ``rounds`` like the 1.2k gate.
+    """
+    from repro.mqtt.broker import MQTTBroker
+    from repro.mqtt.client import MQTTClient
+    from repro.mqtt.messages import QoS
+    from repro.mqtt.network import NetworkModel
+    from repro.runtime.scheduler import EventScheduler
+    from repro.sim.clock import SimulationClock
+
+    best = 0.0
+    for _ in range(rounds):
+        clock = SimulationClock()
+        broker = MQTTBroker("bench-broker", network=NetworkModel(seed=3), clock=clock)
+        scheduler = EventScheduler(clock=clock)
+        scheduler.attach_broker(broker)
+
+        received = [0]
+
+        def on_message(_c, _m):
+            received[0] += 1
+
+        for index in range(num_clients):
+            client = MQTTClient(f"dev_{index:05d}")
+            client.connect(broker)
+            client.subscribe("fleet/all/cmd", QoS.AT_LEAST_ONCE)
+            client.on_message = on_message
+            scheduler.register(client)
+
+        commander = MQTTClient("commander")
+        commander.connect(broker)
+
+        start = time.perf_counter()
+        for _round in range(num_broadcasts):
+            commander.publish("fleet/all/cmd", b"sync", qos=QoS.AT_LEAST_ONCE)
+            scheduler.run_until_idle()
+        elapsed = time.perf_counter() - start
+
+        expected = num_clients * num_broadcasts
+        if received[0] != expected:
+            raise RuntimeError(
+                f"12k fan-out bench delivered {received[0]}, expected {expected}"
+            )
+        best = max(best, expected / max(elapsed, 1e-9))
+    return {
+        "scheduler_12k_clients": num_clients,
+        "scheduler_12k_deliveries": num_clients * num_broadcasts,
+        "scheduler_12k_deliveries_per_s": best,
     }
 
 
@@ -395,6 +478,90 @@ def _fanout_probe(num_clients: int, num_broadcasts: int) -> None:
     }))
 
 
+def bench_idle_rss(base_clients: int = IDLE_RSS_BASE_CLIENTS,
+                   extra_clients: int = IDLE_RSS_EXTRA_CLIENTS) -> Dict[str, float]:
+    """Marginal RSS of +``extra_clients`` idle clients, in a fresh subprocess.
+
+    Reported normalized to MB per 10k clients (the gated figure).  Like the
+    fan-out probe, ``ru_maxrss`` is a lifetime high-water mark and must not
+    share this process.
+    """
+    probe = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--idle-rss-probe", str(base_clients), str(extra_clients),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=_REPO_ROOT,
+    )
+    return json.loads(probe.stdout)
+
+
+def _idle_rss_probe(base_clients: int, extra_clients: int) -> None:
+    """Subprocess entry point: grow an idle fleet, print the memory delta.
+
+    Builds ``base_clients`` connected+subscribed clients first so the one-off
+    costs (imports, scheduler columns, route plans, interpreter pools) are in
+    the baseline, then adds ``extra_clients`` more and attributes the growth
+    to them.  One broadcast round runs against the base fleet before the
+    baseline snapshot so the columnar kernel's steady state (grown columns,
+    warm caches) is part of the baseline too.
+
+    The gated figure comes from ``tracemalloc`` (traced Python allocations),
+    not ``ru_maxrss``: the extra clients usually fit inside the high-water
+    mark left by the warm broadcast, so the RSS delta reads 0 regardless of
+    how much the clients actually allocate.  Traced memory is exact and
+    deterministic; ``ru_maxrss`` figures ride along as context.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.mqtt.broker import MQTTBroker
+    from repro.mqtt.client import MQTTClient
+    from repro.mqtt.messages import QoS
+    from repro.mqtt.network import NetworkModel
+    from repro.runtime.scheduler import EventScheduler
+    from repro.sim.clock import SimulationClock
+
+    clock = SimulationClock()
+    broker = MQTTBroker("rss-broker", network=NetworkModel(seed=3), clock=clock)
+    scheduler = EventScheduler(clock=clock)
+    scheduler.attach_broker(broker)
+
+    def add_clients(start: int, count: int) -> None:
+        for index in range(start, start + count):
+            client = MQTTClient(f"dev_{index:06d}")
+            client.connect(broker)
+            client.subscribe("fleet/all/cmd", QoS.AT_LEAST_ONCE)
+            scheduler.register(client)
+
+    add_clients(0, base_clients)
+    commander = MQTTClient("commander")
+    commander.connect(broker)
+    commander.publish("fleet/all/cmd", b"warm", qos=QoS.AT_LEAST_ONCE)
+    scheduler.run_until_idle()
+
+    baseline_mb = _peak_rss_mb()
+    gc.collect()
+    tracemalloc.start()
+    traced_before, _ = tracemalloc.get_traced_memory()
+    add_clients(base_clients, extra_clients)
+    gc.collect()
+    traced_after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_mb = _peak_rss_mb()
+    delta_mb = (traced_after - traced_before) / (1024.0 * 1024.0)
+    print(json.dumps({
+        "idle_rss_base_clients": base_clients,
+        "idle_rss_extra_clients": extra_clients,
+        "idle_rss_baseline_mb": baseline_mb,
+        "idle_rss_peak_mb": peak_mb,
+        "scheduler_rss_per_10k_clients_mb": delta_mb * (10_000 / extra_clients),
+    }))
+
+
 # ----------------------------------------------------------------- the runner
 
 
@@ -403,6 +570,8 @@ def run_benches(quick: bool, label: str = "adhoc") -> Dict[str, object]:
     metrics: Dict[str, float] = {}
     print("• scheduler routing throughput ...", file=sys.stderr)
     metrics.update(bench_scheduler_best())
+    print("• scheduler 12k-client fan-out throughput ...", file=sys.stderr)
+    metrics.update(bench_scheduler_12k(num_broadcasts=3 if quick else SCHEDULER_12K_BROADCASTS))
     print("• codec encode/decode ...", file=sys.stderr)
     metrics.update(bench_codec(payload_mb=2 if quick else 10))
     print("• update codec (int8) encode/decode ...", file=sys.stderr)
@@ -418,6 +587,8 @@ def run_benches(quick: bool, label: str = "adhoc") -> Dict[str, object]:
     metrics.update(bench_obs_overhead(rounds=2 if quick else 3))
     print("• fan-out peak RSS (subprocess) ...", file=sys.stderr)
     metrics.update(bench_fanout_rss(SCHEDULER_CLIENTS, SCHEDULER_BROADCASTS))
+    print("• idle-client marginal RSS (subprocess) ...", file=sys.stderr)
+    metrics.update(bench_idle_rss())
     return {
         "schema": SCHEMA,
         "label": label,
@@ -480,7 +651,7 @@ def check_regression(
         gates = tuple(gate for gate in GATES if gate[0] == GATE_METRIC)
 
     failed = False
-    for name, extract, default_tolerance in gates:
+    for name, extract, default_tolerance, direction in gates:
         gate_tolerance = default_tolerance if tolerance is None else tolerance
         try:
             reference = extract(baseline["metrics"])
@@ -492,15 +663,22 @@ def check_regression(
         except KeyError as exc:
             print(f"fresh document is missing gate metric {exc} for {name}", file=sys.stderr)
             return 2
-        floor = reference * (1.0 - gate_tolerance)
-        verdict = "OK" if fresh >= floor else "REGRESSION"
-        failed = failed or fresh < floor
+        if direction == "lower":
+            bound = reference * (1.0 + gate_tolerance)
+            ok = fresh <= bound
+            bound_label = "ceiling"
+        else:
+            bound = reference * (1.0 - gate_tolerance)
+            ok = fresh >= bound
+            bound_label = "floor"
+        verdict = "OK" if ok else "REGRESSION"
+        failed = failed or not ok
         # Throughput gates are large counts; ratio gates live near 1.0 and
         # need decimals to be readable.
         fmt = (lambda v: f"{v:,.4f}") if reference < 100 else (lambda v: f"{v:,.0f}")
         print(
             f"{name}: fresh {fmt(fresh)} vs baseline {fmt(reference)} "
-            f"(floor {fmt(floor)} at {gate_tolerance:.0%} tolerance) -> {verdict}"
+            f"({bound_label} {fmt(bound)} at {gate_tolerance:.0%} tolerance) -> {verdict}"
         )
     # Absolute throughput is machine-dependent; surface an environment
     # mismatch so a gate failure on a different class of machine is easy to
@@ -527,10 +705,14 @@ def main(argv=None) -> int:
     parser.add_argument("--fresh", metavar="FRESH", help="with --check: read the fresh figure from this BENCH json instead of re-measuring")
     parser.add_argument("--tolerance", type=float, default=None, help="override every gate's default fractional tolerance for --check (default: per-metric)")
     parser.add_argument("--fanout-probe", nargs=2, metavar=("CLIENTS", "BROADCASTS"), help=argparse.SUPPRESS)
+    parser.add_argument("--idle-rss-probe", nargs=2, metavar=("BASE", "EXTRA"), help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.fanout_probe:
         _fanout_probe(int(args.fanout_probe[0]), int(args.fanout_probe[1]))
+        return 0
+    if args.idle_rss_probe:
+        _idle_rss_probe(int(args.idle_rss_probe[0]), int(args.idle_rss_probe[1]))
         return 0
 
     if args.check:
