@@ -116,7 +116,7 @@ def test_scheduler_12k_fanout_throughput(benchmark, bench_fast):
     Every client holds exactly one subscription to the shared command topic,
     so each publish is one 12k-wide fan-out served by a single batch heap
     entry.  Shape and builder are shared with ``tools/bench.py`` (the
-    ``scheduler_12k_deliveries_per_s`` gate in BENCH_pr9.json).
+    ``scheduler_12k_deliveries_per_s`` gate in BENCH_pr10.json).
     """
     num_clients = 2_000 if bench_fast else SCHEDULER_12K_CLIENTS
     result = benchmark.pedantic(

@@ -1,0 +1,573 @@
+"""Process-parallel region shards over the event kernel.
+
+PR 9's columnar kernel made one event loop fast; this module makes *N* of
+them run at once.  The fleet is partitioned by **region** — the natural cut
+of the bridged-multi-region topology, where each region already owns its own
+:class:`~repro.mqtt.broker.MQTTBroker` — and each shard is a worker process
+advancing its own :class:`~repro.runtime.scheduler.EventScheduler` heap over
+its owned regions' brokers.
+
+Barrier protocol
+----------------
+Workers advance in lockstep over fixed-width simulated-time windows.  At the
+end of every window each worker ships the cross-region messages its
+:class:`ShardBridge` captured (serialized columnar over the pipe with the
+zero-copy :func:`repro.mqttfc.serialization.encode_payload` wire format) to
+the parent, which sorts the union canonically on
+``(dst_region, timestamp, origin_broker, message_id)`` and relays each
+shard's inbound slice.  Workers inject the slice via
+``broker.publish(..., _from_bridge=True)`` — the same seam
+:class:`~repro.mqtt.bridge.BrokerBridge` uses — before the next window
+starts.  Because capture happens even when source and destination regions
+live in the *same* worker, the per-region event streams are identical for
+every shard layout, including the in-process :func:`run_unsharded` host.
+
+Determinism contract
+--------------------
+With tracing on, every shard tags delivery-trace entries with the receiving
+region (:meth:`EventScheduler.assign_trace_region`).  The **canonical global
+digest** is the SHA-256 over trace lines sorted on
+``(deliver_at, region, sequence)`` — a total order, since sequences are
+unique per region broker — and each shard's digest is the same sort over its
+owned-region subset.  The global digest is byte-identical for any shard
+count, shards=1 included, versus the unsharded kernel.
+
+Liveness: the parent polls worker pipes with a deadline; a worker that dies
+(hard exit) or raises (it ships its traceback as an ``error`` frame) turns
+into a clean :class:`ShardError` instead of a hung barrier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing as mp
+import os
+import time
+import traceback
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.messages import MQTTMessage, QoS
+from repro.mqtt.network import NetworkModel
+from repro.mqttfc.serialization import decode_payload, encode_payload
+from repro.runtime.scheduler import EventScheduler
+from repro.sim.clock import SimulationClock
+
+__all__ = [
+    "ShardError",
+    "ShardRunResult",
+    "ShardWorkload",
+    "canonical_trace_digest",
+    "plan_regions",
+    "run_sharded",
+    "run_unsharded",
+]
+
+#: (due, region, sequence, line) — the scheduler's structured trace entry.
+TraceEntry = Tuple[float, int, int, bytes]
+
+#: (dst_region, timestamp, origin_broker, message_id, topic, sender, qos,
+#: retain, payload) — one captured cross-region message on the wire.  The
+#: first four fields are the canonical injection sort key.
+Wire = Tuple[float, int, str, int, str, str, int, bool, bytes]
+
+
+class ShardError(RuntimeError):
+    """A shard worker died, raised, or missed a barrier deadline."""
+
+
+def canonical_trace_digest(entries: Iterable[TraceEntry]) -> str:
+    """SHA-256 over trace lines sorted on ``(deliver_at, region, sequence)``.
+
+    The sort key is a total order over deliveries (sequences are unique per
+    region broker), so the digest is invariant to how regions were packed
+    into shards — per-shard digests are the same sort over a region subset.
+    """
+    digest = hashlib.sha256()
+    for _due, _region, _sequence, line in sorted(
+        entries, key=lambda entry: (entry[0], entry[1], entry[2])
+    ):
+        digest.update(line)
+    return digest.hexdigest()
+
+
+def plan_regions(regions: int, shards: int) -> List[List[int]]:
+    """Round-robin region → shard assignment; shards clamp to the region count."""
+    shards = max(1, min(int(shards), int(regions)))
+    plan: List[List[int]] = [[] for _ in range(shards)]
+    for region in range(int(regions)):
+        plan[region % shards].append(region)
+    return plan
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardWorkload:
+    """A synthetic regional fan-out fleet (the sharded bench / test shape).
+
+    Every region hosts ``clients_per_region`` subscribers on
+    ``region/<r>/cmd`` plus a commander that publishes
+    ``broadcasts_per_window`` local broadcasts and ``cross_per_window``
+    messages to the next region's topic per window — the cross traffic is
+    what exercises the bridge capture + barrier exchange.  The ``crash_*``
+    knobs inject a worker failure for the barrier-liveness tests.
+    """
+
+    regions: int = 4
+    clients_per_region: int = 100
+    windows: int = 4
+    window_s: float = 10.0
+    broadcasts_per_window: int = 2
+    cross_per_window: int = 1
+    payload: bytes = b"sync"
+    network_seed: int = 3
+    crash_window: int = -1
+    crash_region: int = -1
+    crash_hard: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRunResult:
+    """Merged outcome of one (un)sharded run."""
+
+    shards: int
+    regions: int
+    deliveries: int
+    events: int
+    received: int
+    bridged: int
+    elapsed_s: float
+    global_digest: Optional[str]
+    shard_digests: Tuple[Optional[str], ...]
+
+    @property
+    def deliveries_per_s(self) -> float:
+        return self.deliveries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def _region_topic(region: int) -> str:
+    return f"region/{region}/cmd"
+
+
+def _topic_region(topic: str) -> Optional[int]:
+    parts = topic.split("/", 2)
+    if len(parts) == 3 and parts[0] == "region" and parts[1].isdigit():
+        return int(parts[1])
+    return None
+
+
+class ShardBridge:
+    """Captures locally-originated cross-region publishes into the outbox.
+
+    Duck-types :meth:`BrokerBridge.on_local_publish` and attaches through the
+    same ``broker.attach_bridge`` seam, so brokers need no sharding-specific
+    code.  Messages injected from other shards arrive with a foreign
+    ``origin_broker`` and are not re-captured.
+    """
+
+    def __init__(self, host: "ShardHost") -> None:
+        self.host = host
+        self.captured = 0
+
+    def on_local_publish(self, source: MQTTBroker, message: MQTTMessage) -> int:
+        if message.origin_broker != source.name:
+            return 0  # injected from another shard — already routed
+        destination = _topic_region(message.topic)
+        if destination is None or destination == self.host.region_of_broker[source.name]:
+            return 0
+        self.host.outbox.append(
+            (
+                float(message.timestamp),
+                destination,
+                message.origin_broker,
+                int(message.message_id),
+                message.topic,
+                message.sender_id or "",
+                int(getattr(message.qos, "value", message.qos)),
+                bool(message.retain),
+                bytes(message.payload),
+            )
+        )
+        self.captured += 1
+        return 1
+
+
+class ShardHost:
+    """One worker's slice of the fleet: owned regions, one scheduler, one clock.
+
+    The same class also runs the *unsharded* comparator (a single host owning
+    every region), so sharded and unsharded executions share every line of
+    event-loop code and differ only in how the outbox is exchanged.
+    """
+
+    def __init__(
+        self,
+        workload: ShardWorkload,
+        owned_regions: Iterable[int],
+        *,
+        record_trace: bool = False,
+    ) -> None:
+        self.workload = workload
+        self.owned = sorted(int(region) for region in owned_regions)
+        self.clock = SimulationClock()
+        self.scheduler = EventScheduler(clock=self.clock, record_trace=record_trace)
+        self.outbox: List[Wire] = []
+        self.brokers: Dict[int, MQTTBroker] = {}
+        self.region_of_broker: Dict[str, int] = {}
+        self.received = 0
+        self.bridge = ShardBridge(self)
+        for region in self.owned:
+            broker = MQTTBroker(
+                f"region-{region}",
+                network=NetworkModel(seed=workload.network_seed + region),
+                clock=self.clock,
+            )
+            self.scheduler.attach_broker(broker)
+            broker.attach_bridge(self.bridge)
+            self.brokers[region] = broker
+            self.region_of_broker[broker.name] = region
+            for index in range(workload.clients_per_region):
+                client_id = f"r{region}_dev_{index:05d}"
+                client = MQTTClient(client_id)
+                client.connect(broker)
+                client.subscribe(_region_topic(region), QoS.AT_LEAST_ONCE)
+                client.on_message = self._on_message
+                self.scheduler.register(client)
+                self.scheduler.assign_trace_region(client_id, region)
+            commander = MQTTClient(f"r{region}_commander")
+            commander.connect(broker)
+            self._schedule_commands(region, commander)
+
+    def _on_message(self, _client: object, _message: object) -> None:
+        self.received += 1
+
+    def _schedule_commands(self, region: int, commander: MQTTClient) -> None:
+        workload = self.workload
+        local_topic = _region_topic(region)
+        cross_topic = _region_topic((region + 1) % workload.regions)
+        for window in range(workload.windows):
+            base = window * workload.window_s
+            for burst in range(workload.broadcasts_per_window):
+                self.scheduler.call_at(
+                    base + 1.0 + burst,
+                    lambda c=commander, t=local_topic: c.publish(
+                        t, workload.payload, qos=QoS.AT_LEAST_ONCE
+                    ),
+                )
+            # Cross publishes land mid-window; their wires travel at the next
+            # barrier, so the destination sees them one window later at their
+            # original timestamps — identically for every shard layout.
+            if workload.regions > 1:
+                for burst in range(workload.cross_per_window):
+                    self.scheduler.call_at(
+                        base + 2.0 + burst,
+                        lambda c=commander, t=cross_topic: c.publish(
+                            t, workload.payload, qos=QoS.AT_LEAST_ONCE
+                        ),
+                    )
+
+    def run_window(self, index: int) -> List[Wire]:
+        """Advance to the window boundary; return (and clear) the outbox."""
+        self.scheduler.run_until_time((index + 1) * self.workload.window_s)
+        captured, self.outbox = self.outbox, []
+        return captured
+
+    def inject(self, wires: Sequence[Wire]) -> None:
+        """Publish relayed cross-region messages (already canonically sorted)."""
+        for timestamp, destination, origin, message_id, topic, sender, qos, retain, payload in wires:
+            broker = self.brokers.get(destination)
+            if broker is None:
+                raise ShardError(f"wire routed to unowned region {destination}")
+            broker.publish(
+                MQTTMessage(
+                    topic=topic,
+                    payload=payload,
+                    qos=QoS(qos),
+                    retain=retain,
+                    sender_id=sender or None,
+                    origin_broker=origin,
+                    timestamp=timestamp,
+                    message_id=message_id,
+                ),
+                _from_bridge=True,
+            )
+
+    def finish(self) -> None:
+        """Drain stragglers after the last barrier; the outbox must stay dry."""
+        self.scheduler.run_until_idle()
+        if self.outbox:
+            raise ShardError(
+                f"{len(self.outbox)} cross-region messages captured after the final barrier"
+            )
+
+
+# ------------------------------------------------------------------ the wire
+
+_WIRE_SORT = slice(0, 4)  # (timestamp, dst_region, origin_broker, message_id)
+
+
+def _encode_wires(wires: Sequence[Wire]) -> Dict[str, object]:
+    if not wires:
+        return {"n": 0}
+    ts, dst, origin, mid, topic, sender, qos, retain, payload = zip(*wires)
+    return {
+        "n": len(wires),
+        "ts": np.asarray(ts, dtype=np.float64),
+        "dst": np.asarray(dst, dtype=np.int32),
+        "mid": np.asarray(mid, dtype=np.int64),
+        "qos": np.asarray(qos, dtype=np.int8),
+        "retain": np.asarray(retain, dtype=np.uint8),
+        "origin": list(origin),
+        "topic": list(topic),
+        "sender": list(sender),
+        "plen": np.asarray([len(p) for p in payload], dtype=np.int32),
+        "pblob": np.frombuffer(b"".join(payload), dtype=np.uint8),
+    }
+
+
+def _decode_wires(frame: Dict[str, object]) -> List[Wire]:
+    count = int(frame["n"])  # type: ignore[arg-type]
+    if not count:
+        return []
+    blob = np.asarray(frame["pblob"]).tobytes()
+    offsets = np.concatenate(([0], np.cumsum(np.asarray(frame["plen"], dtype=np.int64))))
+    wires: List[Wire] = []
+    for i in range(count):
+        wires.append(
+            (
+                float(frame["ts"][i]),  # type: ignore[index]
+                int(frame["dst"][i]),  # type: ignore[index]
+                str(frame["origin"][i]),  # type: ignore[index]
+                int(frame["mid"][i]),  # type: ignore[index]
+                str(frame["topic"][i]),  # type: ignore[index]
+                str(frame["sender"][i]),  # type: ignore[index]
+                int(frame["qos"][i]),  # type: ignore[index]
+                bool(frame["retain"][i]),  # type: ignore[index]
+                blob[offsets[i] : offsets[i + 1]],
+            )
+        )
+    return wires
+
+
+def _encode_entries(entries: Sequence[TraceEntry]) -> Dict[str, object]:
+    if not entries:
+        return {"n": 0}
+    return {
+        "n": len(entries),
+        "due": np.asarray([e[0] for e in entries], dtype=np.float64),
+        "region": np.asarray([e[1] for e in entries], dtype=np.int32),
+        "seq": np.asarray([e[2] for e in entries], dtype=np.int64),
+        "llen": np.asarray([len(e[3]) for e in entries], dtype=np.int32),
+        "lblob": np.frombuffer(b"".join(e[3] for e in entries), dtype=np.uint8),
+    }
+
+
+def _decode_entries(frame: Dict[str, object]) -> List[TraceEntry]:
+    count = int(frame["n"])  # type: ignore[arg-type]
+    if not count:
+        return []
+    blob = np.asarray(frame["lblob"]).tobytes()
+    offsets = np.concatenate(([0], np.cumsum(np.asarray(frame["llen"], dtype=np.int64))))
+    return [
+        (
+            float(frame["due"][i]),  # type: ignore[index]
+            int(frame["region"][i]),  # type: ignore[index]
+            int(frame["seq"][i]),  # type: ignore[index]
+            blob[offsets[i] : offsets[i + 1]],
+        )
+        for i in range(count)
+    ]
+
+
+def _send(conn, frame: Dict[str, object]) -> None:
+    conn.send_bytes(encode_payload(frame))
+
+
+def _recv_blocking(conn) -> Dict[str, object]:
+    return decode_payload(conn.recv_bytes(), copy_arrays=False)
+
+
+def _recv_checked(conn, worker, shard: int, timeout_s: float) -> Dict[str, object]:
+    """Receive one frame, converting death / raise / stall into ShardError."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if conn.poll(0.05):
+            try:
+                frame = _recv_blocking(conn)
+            except EOFError:
+                worker.join(timeout=1)
+                raise ShardError(
+                    f"shard {shard} worker closed its pipe "
+                    f"(exit code {worker.exitcode})"
+                ) from None
+            if frame.get("tag") == "error":
+                raise ShardError(
+                    f"shard {shard} worker failed:\n{frame.get('traceback', '')}"
+                )
+            return frame
+        if not worker.is_alive():
+            if conn.poll(0):
+                continue  # the final frame raced the exit
+            raise ShardError(
+                f"shard {shard} worker died before the barrier "
+                f"(exit code {worker.exitcode})"
+            )
+        if time.monotonic() >= deadline:
+            raise ShardError(f"shard {shard} barrier timed out after {timeout_s:.0f}s")
+
+
+# --------------------------------------------------------------- the workers
+
+
+def _shard_worker(
+    conn, workload: ShardWorkload, shard: int, owned: Tuple[int, ...], record_trace: bool
+) -> None:
+    try:
+        host = ShardHost(workload, owned, record_trace=record_trace)
+        _send(conn, {"tag": "ready", "shard": shard})
+        _recv_blocking(conn)  # "go"
+        for window in range(workload.windows):
+            if window == workload.crash_window and workload.crash_region in host.brokers:
+                if workload.crash_hard:
+                    os._exit(3)
+                raise RuntimeError(
+                    f"injected crash in shard {shard} at window {window}"
+                )
+            _send(
+                conn,
+                {"tag": "window", "index": window, "wires": _encode_wires(host.run_window(window))},
+            )
+            host.inject(_decode_wires(_recv_blocking(conn)["wires"]))
+        host.finish()
+        entries = host.scheduler.trace_entries()
+        _send(
+            conn,
+            {
+                "tag": "done",
+                "shard": shard,
+                "deliveries": host.scheduler.messages_processed,
+                "events": host.scheduler.events_processed,
+                "received": host.received,
+                "bridged": host.bridge.captured,
+                "digest": canonical_trace_digest(entries) if record_trace else None,
+                "entries": _encode_entries(entries) if record_trace else None,
+            },
+        )
+    except Exception:
+        try:
+            _send(conn, {"tag": "error", "shard": shard, "traceback": traceback.format_exc()})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_sharded(
+    workload: ShardWorkload,
+    shards: int,
+    *,
+    record_trace: bool = False,
+    timeout_s: float = 120.0,
+    start_method: Optional[str] = None,
+) -> ShardRunResult:
+    """Run *workload* across ``shards`` worker processes; merge the outcome.
+
+    The wall clock (``elapsed_s``) covers the window loop and barrier
+    exchanges only — worker construction sits behind a ``ready``/``go``
+    handshake so fleet-building cost never pollutes the scaling metric.
+    """
+    plan = plan_regions(workload.regions, shards)
+    shards = len(plan)
+    owner = {region: index for index, owned in enumerate(plan) for region in owned}
+    method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    ctx = mp.get_context(method)
+    workers: List[object] = []
+    conns: List[object] = []
+    try:
+        for shard, owned in enumerate(plan):
+            parent_conn, child_conn = ctx.Pipe()
+            worker = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, workload, shard, tuple(owned), record_trace),
+                daemon=True,
+                name=f"shard-{shard}",
+            )
+            worker.start()
+            child_conn.close()
+            workers.append(worker)
+            conns.append(parent_conn)
+        for shard, conn in enumerate(conns):
+            _recv_checked(conn, workers[shard], shard, timeout_s)  # "ready"
+        for conn in conns:
+            _send(conn, {"tag": "go"})
+        start = time.perf_counter()
+        for window in range(workload.windows):
+            wires: List[Wire] = []
+            for shard, conn in enumerate(conns):
+                frame = _recv_checked(conn, workers[shard], shard, timeout_s)
+                wires.extend(_decode_wires(frame["wires"]))
+            wires.sort(key=lambda wire: wire[_WIRE_SORT])
+            for shard, conn in enumerate(conns):
+                slice_ = [wire for wire in wires if owner[wire[1]] == shard]
+                _send(conn, {"tag": "inject", "wires": _encode_wires(slice_)})
+        done = [
+            _recv_checked(conn, workers[shard], shard, timeout_s)
+            for shard, conn in enumerate(conns)
+        ]
+        elapsed = time.perf_counter() - start
+        entries: List[TraceEntry] = []
+        if record_trace:
+            for frame in done:
+                entries.extend(_decode_entries(frame["entries"]))
+        return ShardRunResult(
+            shards=shards,
+            regions=workload.regions,
+            deliveries=sum(int(frame["deliveries"]) for frame in done),
+            events=sum(int(frame["events"]) for frame in done),
+            received=sum(int(frame["received"]) for frame in done),
+            bridged=sum(int(frame["bridged"]) for frame in done),
+            elapsed_s=elapsed,
+            global_digest=canonical_trace_digest(entries) if record_trace else None,
+            shard_digests=tuple(frame["digest"] for frame in done),
+        )
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5)
+
+
+def run_unsharded(
+    workload: ShardWorkload, *, record_trace: bool = False
+) -> ShardRunResult:
+    """In-process comparator: one host owns every region, loopback exchange."""
+    host = ShardHost(workload, range(workload.regions), record_trace=record_trace)
+    start = time.perf_counter()
+    for window in range(workload.windows):
+        wires = host.run_window(window)
+        wires.sort(key=lambda wire: wire[_WIRE_SORT])
+        host.inject(wires)
+    host.finish()
+    elapsed = time.perf_counter() - start
+    entries = host.scheduler.trace_entries()
+    digest = canonical_trace_digest(entries) if record_trace else None
+    return ShardRunResult(
+        shards=1,
+        regions=workload.regions,
+        deliveries=host.scheduler.messages_processed,
+        events=host.scheduler.events_processed,
+        received=host.received,
+        bridged=host.bridge.captured,
+        elapsed_s=elapsed,
+        global_digest=digest,
+        shard_digests=(digest,),
+    )

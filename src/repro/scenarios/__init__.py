@@ -46,6 +46,7 @@ from repro.scenarios.spec import (
     NetworkSpec,
     ScenarioSpec,
     ScenarioSpecError,
+    ShardingSpec,
     TopologySpec,
     TrainingSpec,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioSpec",
     "ScenarioSpecError",
+    "ShardingSpec",
     "SweepSpec",
     "TopologySpec",
     "TrainingSpec",

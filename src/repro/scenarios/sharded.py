@@ -1,0 +1,418 @@
+"""Process-parallel scenario execution with a deterministic merged digest.
+
+The scenario layer's entry point into the sharded event loop
+(:mod:`repro.runtime.shards`): ``--shards N`` partitions a scenario's
+*training work* across N worker processes, keyed by the region cut the
+runtime uses everywhere else — region ``r`` is owned by shard ``r % N``.
+
+Execution model: replicated simulation, partitioned training
+-------------------------------------------------------------
+
+Every worker runs the **full** deterministic simulation (brokers, bridges,
+scheduler, coordination traffic) through the exact same
+:func:`~repro.scenarios.runner.execute_scenario` core the in-process runner
+uses — that is what makes sharding result-neutral by construction.  What is
+partitioned is the expensive part: local training.  The experiment's
+``train_hook`` seam routes each client's local-training phase to its owning
+shard only; the owner trains for real and ships the resulting client state
+(model parameters, Adam moments, mean loss) to every replica through a
+parent star relay over pipes, using the zero-copy
+:func:`~repro.mqttfc.serialization.encode_payload` wire format.  Replicas
+install the shipped state in place and continue, so all N simulations stay
+bit-identical without any of them paying more than ``1/N`` of the training
+cost.
+
+Determinism contract
+--------------------
+
+Each worker finishes with the run's three signatures (legacy dispatch-order
+signature, canonical merge-ordered digest, sharded signature) plus a
+per-shard digest over the trace lines of the regions it owns.  The parent
+verifies all replicas agree byte-for-byte — a mismatch is a hard
+:class:`~repro.runtime.shards.ShardError`, never a silent wrong answer —
+and the shard invariance tests pin that the same triple comes out of the
+unsharded path.
+
+Liveness: a worker that raises ships an ``error`` frame (traceback
+included); a worker that dies outright is detected via pipe EOF / exit
+code; the whole relay is bounded by a wall-clock timeout.  All three
+surface as :class:`~repro.runtime.shards.ShardError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.mqttfc.serialization import decode_payload, encode_payload
+from repro.runtime.experiment import FLExperiment
+from repro.runtime.shards import ShardError, canonical_trace_digest
+from repro.scenarios.compiler import CompiledScenario, effective_shards
+from repro.scenarios.runner import ScenarioResult, execute_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["run_scenario_sharded"]
+
+#: Wall-clock bound on the whole sharded run (generous: trained scenarios
+#: are minutes, not hours; the bound exists so a wedged worker surfaces as
+#: an error instead of a hang).
+DEFAULT_TIMEOUT_S = 900.0
+
+
+class _CrossShardTrainer:
+    """The ``train_hook`` a shard worker installs on its experiment.
+
+    Owned clients (``region % shards == shard``) train locally and ship
+    their post-training state; foreign clients block until the owner's
+    state arrives and install it in place.  Because every replica issues
+    the same hook calls in the same order, the globally earliest pending
+    call always has an owner that is not waiting on anything — progress is
+    guaranteed without any barrier inside a round.
+    """
+
+    def __init__(
+        self, experiment: FLExperiment, conn, shard: int, shards: int
+    ) -> None:
+        self._experiment = experiment
+        self._conn = conn
+        self._shard = shard
+        self._shards = shards
+        #: client id → shipped state, buffered until the replica needs it.
+        self._pending: Dict[str, Mapping[str, object]] = {}
+        self.clients_trained = 0
+        self.states_installed = 0
+        self.state_bytes = 0
+
+    def owns(self, client_id: str) -> bool:
+        region = self._experiment.client_regions.get(client_id, 0)
+        return region % self._shards == self._shard
+
+    def __call__(self, client_id: str) -> float:
+        # Opportunistically drain relayed states first: it keeps this
+        # worker's inbound pipe empty so the parent relay never stalls on
+        # it while this worker is deep in a training call.
+        self._drain()
+        if self.owns(client_id):
+            loss = self._experiment._train_client_local(client_id)
+            frame = encode_payload(
+                {
+                    "tag": "state",
+                    "client": client_id,
+                    "state": self._pack(client_id, loss),
+                }
+            )
+            self.state_bytes += len(frame)
+            self._conn.send_bytes(frame)
+            self.clients_trained += 1
+            return loss
+        while client_id not in self._pending:
+            self._buffer(decode_payload(self._conn.recv_bytes(), copy_arrays=False))
+        self.states_installed += 1
+        return self._install(client_id, self._pending.pop(client_id))
+
+    def _drain(self) -> None:
+        while self._conn.poll(0):
+            self._buffer(decode_payload(self._conn.recv_bytes(), copy_arrays=False))
+
+    def _buffer(self, frame: Mapping[str, object]) -> None:
+        if frame.get("tag") != "state":
+            raise ShardError(
+                f"shard {self._shard} received unexpected frame "
+                f"tag {frame.get('tag')!r} on the training wire"
+            )
+        self._pending[str(frame["client"])] = frame["state"]  # type: ignore[assignment]
+
+    def _pack(self, client_id: str, loss: float) -> Dict[str, object]:
+        """Everything local training mutated: params + Adam moments + loss."""
+        model = self._experiment.client_models[client_id]
+        optimizer = self._experiment.client_optimizers[client_id]
+        return {
+            "loss": float(loss),
+            "params": dict(model.network.parameters()),
+            "m": dict(optimizer._m),
+            "v": dict(optimizer._v),
+            "t": int(optimizer._t),
+        }
+
+    def _install(self, client_id: str, state: Mapping[str, object]) -> float:
+        model = self._experiment.client_models[client_id]
+        params = model.network.parameters()
+        for key, value in state["params"].items():  # type: ignore[union-attr]
+            # In place: downstream holders (upload path, aggregation) keep
+            # references to these arrays.
+            params[key][...] = value
+        optimizer = self._experiment.client_optimizers[client_id]
+        # Copies decouple optimizer state from the (reusable) recv buffer.
+        optimizer._m = {
+            key: np.array(value, copy=True)
+            for key, value in state["m"].items()  # type: ignore[union-attr]
+        }
+        optimizer._v = {
+            key: np.array(value, copy=True)
+            for key, value in state["v"].items()  # type: ignore[union-attr]
+        }
+        optimizer._t = int(state["t"])  # type: ignore[arg-type]
+        return float(state["loss"])  # type: ignore[arg-type]
+
+
+def _scenario_shard_worker(
+    conn,
+    spec_dict: Dict[str, object],
+    shard: int,
+    shards: int,
+    trace_dir: Optional[str],
+    trace_prefix: str,
+) -> None:
+    """Worker entry point: run the full scenario as shard ``shard``.
+
+    Shard 0 writes trace files under the caller's prefix (so ``--trace
+    --shards N`` produces the same primary artefacts as an unsharded run);
+    the other shards prefix theirs with ``shard<k>-``.
+    """
+    try:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        prefix = trace_prefix if shard == 0 else f"{trace_prefix}shard{shard}-"
+        trainer_slot: List[_CrossShardTrainer] = []
+
+        def configure(compiled: CompiledScenario) -> None:
+            trainer = _CrossShardTrainer(compiled.experiment, conn, shard, shards)
+            compiled.experiment.train_hook = trainer
+            trainer_slot.append(trainer)
+
+        result = execute_scenario(
+            spec, trace_dir=trace_dir, trace_prefix=prefix, configure=configure
+        )
+        trainer = trainer_slot[0]
+        owned = [
+            region
+            for region in range(int(spec.topology.regions))
+            if region % shards == shard
+        ]
+        owned_set = set(owned)
+        entries = result.experiment.scheduler.trace_entries()
+        shard_digest = canonical_trace_digest(
+            [entry for entry in entries if entry[1] in owned_set]
+        )
+        payload = result.to_payload()
+        payload["shards"] = shards
+        conn.send_bytes(
+            encode_payload(
+                {
+                    "tag": "done",
+                    "shard": shard,
+                    "payload": payload,
+                    "legacy": result.signature,
+                    "canonical": result.canonical_digest,
+                    "sharded": result.sharded_signature,
+                    "shard_digest": shard_digest,
+                    "owned_regions": owned,
+                    "clients_trained": trainer.clients_trained,
+                    "states_installed": trainer.states_installed,
+                    "state_bytes": trainer.state_bytes,
+                }
+            )
+        )
+    except BaseException as error:
+        try:
+            conn.send_bytes(
+                encode_payload(
+                    {
+                        "tag": "error",
+                        "shard": shard,
+                        "error": f"{type(error).__name__}: {error}",
+                        "traceback": traceback.format_exc(),
+                    }
+                )
+            )
+        except Exception:
+            pass
+        os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _outbound_pump(conn, frames: "queue.Queue[Optional[bytes]]") -> None:
+    """Dedicated sender thread for one worker's pipe.
+
+    Relayed state frames are enqueued here instead of sent from the relay
+    loop, so a worker that is deep in a training call (not reading) can
+    never block the parent — and therefore never block the *other* workers'
+    frames — which is what rules the classic star-relay deadlock out.
+    """
+    while True:
+        item = frames.get()
+        if item is None:
+            return
+        try:
+            conn.send_bytes(item)
+        except (OSError, ValueError, BrokenPipeError):
+            # Receiver exited (a finished replica already has every state it
+            # needed).  Keep draining so enqueuers never block.
+            while frames.get() is not None:
+                pass
+            return
+
+
+def run_scenario_sharded(
+    spec: ScenarioSpec,
+    shards: int,
+    trace_dir: "Union[str, os.PathLike, None]" = None,
+    trace_prefix: str = "",
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    start_method: Optional[str] = None,
+) -> ScenarioResult:
+    """Execute ``spec`` across ``shards`` worker processes.
+
+    Returns a payload-backed :class:`ScenarioResult` whose legacy
+    signature, canonical digest and sharded signature are byte-identical to
+    the unsharded run's — verified across all replicas before returning.
+    The per-shard digests and training-exchange counters land in
+    ``result.metrics["sharding"]``.
+    """
+    shards = effective_shards(spec, shards)
+    if shards <= 1:
+        return execute_scenario(spec, trace_dir=trace_dir, trace_prefix=trace_prefix)
+    methods = mp.get_all_start_methods()
+    context = mp.get_context(
+        start_method if start_method is not None
+        else ("fork" if "fork" in methods else "spawn")
+    )
+    spec_dict = spec.as_dict()
+    trace_base = os.fspath(trace_dir) if trace_dir is not None else None
+
+    conns = []
+    workers = []
+    for shard in range(shards):
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        worker = context.Process(
+            target=_scenario_shard_worker,
+            args=(child_conn, spec_dict, shard, shards, trace_base, trace_prefix),
+            name=f"scenario-shard-{shard}",
+            daemon=True,
+        )
+        worker.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        workers.append(worker)
+
+    outboxes: List["queue.Queue[Optional[bytes]]"] = []
+    pumps: List[threading.Thread] = []
+    for conn in conns:
+        frames: "queue.Queue[Optional[bytes]]" = queue.Queue()
+        pump = threading.Thread(target=_outbound_pump, args=(conn, frames), daemon=True)
+        pump.start()
+        outboxes.append(frames)
+        pumps.append(pump)
+
+    done: Dict[int, Mapping[str, object]] = {}
+    index_of = {id(conn): index for index, conn in enumerate(conns)}
+    try:
+        deadline = time.monotonic() + timeout_s
+        live = dict(enumerate(conns))
+        while len(done) < shards:
+            if time.monotonic() > deadline:
+                raise ShardError(
+                    f"sharded scenario run timed out after {timeout_s:.0f}s "
+                    f"({len(done)}/{shards} shards finished)"
+                )
+            ready = mp_connection.wait(list(live.values()), timeout=0.2)
+            if not ready:
+                for index in list(live):
+                    if not workers[index].is_alive():
+                        workers[index].join(timeout=1)
+                        raise ShardError(
+                            f"scenario shard {index} died before finishing "
+                            f"(exit code {workers[index].exitcode})"
+                        )
+                continue
+            for conn in ready:
+                index = index_of[id(conn)]
+                try:
+                    raw = conn.recv_bytes()
+                except (EOFError, OSError):
+                    if index in done:
+                        del live[index]
+                        continue
+                    workers[index].join(timeout=1)
+                    raise ShardError(
+                        f"scenario shard {index} closed its pipe before "
+                        f"finishing (exit code {workers[index].exitcode})"
+                    )
+                frame = decode_payload(raw, copy_arrays=False)
+                tag = frame.get("tag")
+                if tag == "state":
+                    # Star relay: forward the raw frame (no re-encode) to
+                    # every other replica's outbound pump.
+                    for other, frames in enumerate(outboxes):
+                        if other != index:
+                            frames.put(raw)
+                elif tag == "done":
+                    done[index] = frame
+                    live.pop(index, None)
+                elif tag == "error":
+                    raise ShardError(
+                        f"scenario shard {index} failed: {frame.get('error')}\n"
+                        f"{frame.get('traceback', '')}"
+                    )
+                else:
+                    raise ShardError(
+                        f"scenario shard {index} sent unknown frame tag {tag!r}"
+                    )
+    finally:
+        for frames in outboxes:
+            frames.put(None)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5)
+        for pump in pumps:
+            pump.join(timeout=1)
+
+    first = done[0]
+    for index in range(1, shards):
+        frame = done[index]
+        for key in ("legacy", "canonical", "sharded"):
+            if frame[key] != first[key]:
+                raise ShardError(
+                    f"shard determinism violation: shard {index} {key} "
+                    f"{frame[key]} != shard 0 {first[key]}"
+                )
+
+    payload = dict(first["payload"])  # type: ignore[arg-type]
+    metrics = dict(payload.get("metrics", {}))  # type: ignore[union-attr]
+    metrics["sharding"] = {
+        "shards": shards,
+        "per_shard": [
+            {
+                "shard": index,
+                "owned_regions": [int(r) for r in done[index]["owned_regions"]],  # type: ignore[union-attr]
+                "clients_trained": int(done[index]["clients_trained"]),  # type: ignore[arg-type]
+                "states_installed": int(done[index]["states_installed"]),  # type: ignore[arg-type]
+                "state_bytes": int(done[index]["state_bytes"]),  # type: ignore[arg-type]
+                "shard_digest": str(done[index]["shard_digest"]),
+            }
+            for index in range(shards)
+        ],
+    }
+    payload["metrics"] = metrics
+    result = ScenarioResult.from_payload(spec, payload)
+    result.shards = shards
+    result.source = "sharded"
+    return result

@@ -150,6 +150,12 @@ class StoredGrid:
         }
 
 
+#: How long a writer waits on a locked database before erroring (ms).
+#: Generous: store writes are small (one JSON payload per commit), so any
+#: contention clears in milliseconds — the timeout only bites on a wedged
+#: peer holding the lock.
+BUSY_TIMEOUT_MS = 10_000
+
 _SCHEMA_STATEMENTS = (
     """
     CREATE TABLE IF NOT EXISTS store_meta (
@@ -209,6 +215,18 @@ class ResultsStore:
             self.path, check_same_thread=False
         )
         self._connection.row_factory = sqlite3.Row
+        # Concurrent-writer posture: WAL lets readers (serve mode, a
+        # --resume consult) proceed while another process commits a cell,
+        # and the busy timeout turns writer-vs-writer "database is locked"
+        # races (parallel grids, sharded runs sharing one store) into short
+        # waits instead of hard errors.  journal_mode returns the mode
+        # actually in effect — some filesystems refuse WAL — so the
+        # fallback is whatever sqlite kept, with the timeout still applied.
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL").fetchone()
+        except sqlite3.OperationalError:  # pragma: no cover - fs dependent
+            pass
+        self._connection.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._initialize()
 
     # ----------------------------------------------------------- lifecycle

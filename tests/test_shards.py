@@ -1,0 +1,183 @@
+"""Tests for the sharded event loop (``repro.runtime.shards`` + scenarios).
+
+The determinism contract under test: partitioning the fleet across worker
+processes is *result-neutral*.  The canonical delivery digest — SHA-256 over
+trace lines sorted on ``(deliver_at, region, sequence)`` — and every run
+signature must be byte-identical for any shard count, shards=1 and the
+in-process unsharded kernel included.  Liveness rides along: a crashing or
+hard-exiting shard must surface as a clean :class:`ShardError`, never a
+hung barrier.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import random
+import sys
+import time
+
+import pytest
+
+from repro.obs import configure_logging
+from repro.runtime.shards import (
+    ShardError,
+    ShardWorkload,
+    canonical_trace_digest,
+    plan_regions,
+    run_sharded,
+    run_unsharded,
+)
+from repro.scenarios import AxisSpec, ScenarioRunner, SweepSpec, get_scenario
+from repro.scenarios.compiler import effective_shards
+from repro.scenarios.runner import execute_scenario
+from repro.scenarios.sharded import run_scenario_sharded
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_PATH = os.path.join(REPO_ROOT, "tests", "data", "bridged-multi-region.signatures.json")
+
+#: Small enough to fork quickly, big enough that every region sees both
+#: local broadcasts and cross-region traffic in every window.
+_WORKLOAD = ShardWorkload(regions=4, clients_per_region=40, windows=3)
+
+
+class TestEngineInvariance:
+    def test_global_digest_invariant_across_shard_counts(self):
+        baseline = run_unsharded(_WORKLOAD, record_trace=True)
+        assert baseline.global_digest
+        assert baseline.bridged > 0, "workload must exercise cross-region capture"
+        for shards in (1, 2, 4):
+            result = run_sharded(_WORKLOAD, shards, record_trace=True, timeout_s=60)
+            assert result.shards == shards
+            assert result.global_digest == baseline.global_digest
+            assert result.deliveries == baseline.deliveries
+            assert result.received == baseline.received
+            assert result.bridged == baseline.bridged
+
+    def test_per_shard_digests_are_region_subsets(self):
+        # Two shards own disjoint region sets, so their digests differ from
+        # each other and from the global merge — the global digest is the
+        # merge-ordered union, not a concatenation of shard digests.
+        result = run_sharded(_WORKLOAD, 2, record_trace=True, timeout_s=60)
+        assert len(result.shard_digests) == 2
+        assert result.shard_digests[0] != result.shard_digests[1]
+        assert result.global_digest not in result.shard_digests
+
+    def test_canonical_digest_is_order_invariant(self):
+        entries = [
+            (float(due), region, seq, f"line-{due}-{region}-{seq}\n".encode())
+            for due in range(5)
+            for region in range(3)
+            for seq in range(4)
+        ]
+        reference = canonical_trace_digest(entries)
+        shuffled = list(entries)
+        random.Random(7).shuffle(shuffled)
+        assert canonical_trace_digest(shuffled) == reference
+
+    def test_plan_regions_round_robin_and_clamp(self):
+        assert plan_regions(4, 2) == [[0, 2], [1, 3]]
+        assert plan_regions(3, 8) == [[0], [1], [2]]  # clamped to regions
+        assert plan_regions(3, 0) == [[0, 1, 2]]  # floor of one shard
+
+
+class TestBarrierLiveness:
+    def test_raising_shard_surfaces_as_shard_error(self):
+        workload = ShardWorkload(
+            regions=4, clients_per_region=10, windows=3, crash_window=1, crash_region=1
+        )
+        start = time.monotonic()
+        with pytest.raises(ShardError, match="injected crash"):
+            run_sharded(workload, 2, timeout_s=60)
+        assert time.monotonic() - start < 30, "crash must not stall the barrier"
+
+    def test_hard_exiting_shard_surfaces_as_shard_error(self):
+        workload = ShardWorkload(
+            regions=4,
+            clients_per_region=10,
+            windows=3,
+            crash_window=1,
+            crash_region=1,
+            crash_hard=True,
+        )
+        start = time.monotonic()
+        with pytest.raises(ShardError, match="shard 1"):
+            run_sharded(workload, 2, timeout_s=60)
+        assert time.monotonic() - start < 30, "a dead worker must not hang the parent"
+
+
+class TestScenarioInvariance:
+    def test_signatures_invariant_across_shard_counts(self):
+        spec = get_scenario("bridged-multi-region")
+        baseline = execute_scenario(spec)
+        assert baseline.canonical_digest
+        for shards in (2, 3):
+            assert effective_shards(spec, shards) == shards
+            result = run_scenario_sharded(spec, shards)
+            assert result.shards == shards
+            assert result.source == "sharded"
+            assert not result.from_store
+            assert result.signature == baseline.signature
+            assert result.canonical_digest == baseline.canonical_digest
+            assert result.sharded_signature == baseline.sharded_signature
+
+    def test_committed_golden_signatures(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        result = execute_scenario(get_scenario(golden["scenario"]))
+        assert result.signature == golden["signature"]
+        assert result.canonical_digest == golden["canonical_digest"]
+        assert result.sharded_signature == golden["sharded_signature"]
+
+    def test_runner_shards_override(self):
+        runner = ScenarioRunner()
+        spec = get_scenario("bridged-multi-region")
+        baseline = runner.run(spec, use_store=False)
+        sharded = runner.run(spec, use_store=False, shards=2)
+        assert sharded.shards == 2
+        assert sharded.signature == baseline.signature
+        assert sharded.sharded_signature == baseline.sharded_signature
+
+    def test_store_round_trip_preserves_sharded_fields(self, tmp_path):
+        runner = ScenarioRunner(tmp_path / "results.sqlite")
+        try:
+            spec = get_scenario("bridged-multi-region")
+            fresh = runner.run(spec, shards=2)
+            cached = runner.run(spec)  # store hit — layout is not in the key
+            assert cached.from_store
+            assert cached.signature == fresh.signature
+            assert cached.canonical_digest == fresh.canonical_digest
+            assert cached.sharded_signature == fresh.sharded_signature
+        finally:
+            runner.close()
+
+
+class TestGridPoolSizing:
+    def test_sharded_grid_caps_pool_and_matches_unsharded(self):
+        # Grid pool workers are daemonic, so per-cell sharding normalizes to
+        # one in-process run — the grid must still complete, cap the pool to
+        # the core budget (with a log line), and produce the exact
+        # signatures of the unsharded cells.
+        spec = get_scenario("bridged-multi-region").with_shards(2)
+        sweep = SweepSpec(
+            name="shard-grid", base=spec, axes=(AxisSpec("seed", (1, 2)),)
+        )
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        runner = ScenarioRunner()
+        try:
+            grid = runner.run_grid(sweep, workers=2, use_store=False)
+        finally:
+            runner.close()
+            configure_logging(stream=sys.stderr)
+        budget = max(1, (os.cpu_count() or 1) // 2)
+        if budget < 2:
+            assert "capping workers" in stream.getvalue()
+        reference = ScenarioRunner()
+        try:
+            for cell, planned in zip(grid.cells, sweep.cells()):
+                expected = reference.run(planned.spec.with_shards(1), use_store=False)
+                assert cell.signature == expected.signature
+        finally:
+            reference.close()

@@ -12,6 +12,7 @@ the atomic report-bundle rename, and the serve JSON API.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import threading
 import urllib.request
@@ -34,7 +35,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.runner import CellResult
 from repro.scenarios.serve import create_server
-from repro.scenarios.store import SCHEMA_VERSION
+from repro.scenarios.store import BUSY_TIMEOUT_MS, SCHEMA_VERSION
 
 import repro.scenarios.runner as runner_module
 
@@ -231,6 +232,55 @@ class TestResultsStore:
         handle.close()
         with pytest.raises(ResultsStoreError, match="closed"):
             handle.stats()
+
+
+def _hammer_store(path: str, worker: int, writes: int) -> None:
+    """Child-process body for the concurrent-writer test: open, write, close."""
+    spec = _tiny_base().as_dict()
+    with ResultsStore(path) as handle:
+        for index in range(writes):
+            handle.put_run(
+                f"w{worker}-{index:04d}",
+                seed=index,
+                spec=spec,
+                signature=f"sig-{worker}-{index}",
+                payload={"worker": worker, "index": index},
+            )
+
+
+class TestConcurrentWriters:
+    def test_store_opens_in_wal_mode_with_busy_timeout(self, tmp_path):
+        with ResultsStore(tmp_path / "results.sqlite") as handle:
+            with handle._lock:
+                mode = handle._db().execute("PRAGMA journal_mode").fetchone()[0]
+                timeout = handle._db().execute("PRAGMA busy_timeout").fetchone()[0]
+            assert str(mode).lower() == "wal"
+            assert int(timeout) == BUSY_TIMEOUT_MS
+
+    def test_parallel_writer_processes_all_land(self, tmp_path):
+        # Four processes hammer the same database file; WAL plus the busy
+        # timeout must absorb the contention — no "database is locked"
+        # failures (a worker that hits one exits non-zero) and every row
+        # durable afterwards.
+        path = str(tmp_path / "concurrent.sqlite")
+        ResultsStore(path).close()  # create the schema before the race
+        workers, writes = 4, 25
+        processes = [
+            multiprocessing.Process(target=_hammer_store, args=(path, worker, writes))
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        assert all(process.exitcode == 0 for process in processes)
+        with ResultsStore(path) as handle:
+            assert handle.stats()["runs"] == workers * writes
+            for worker in range(workers):
+                for index in (0, writes - 1):
+                    stored = handle.get_run(f"w{worker}-{index:04d}", seed=index)
+                    assert stored is not None
+                    assert stored.payload == {"worker": worker, "index": index}
 
 
 class TestRunWithStore:
